@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation of the paper's Discussion claims (§VIII-E, "Applicability
+ * to Different Coherence Protocols"): the covert channel persists
+ * under snoop-based lookup and under the MESIF/MOESI protocol
+ * flavors, because the E-vs-S service-path asymmetry exists in all
+ * of them.
+ */
+
+#include <iostream>
+
+#include "channel/channel.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace csim;
+
+    struct Variant
+    {
+        const char *name;
+        CoherenceFlavor flavor;
+        CoherenceLookup lookup;
+        bool inclusive = true;
+    };
+    const Variant variants[] = {
+        {"MESI / directory (baseline)", CoherenceFlavor::mesi,
+         CoherenceLookup::directory},
+        {"MESIF / directory (Intel)", CoherenceFlavor::mesif,
+         CoherenceLookup::directory},
+        {"MOESI / directory (AMD)", CoherenceFlavor::moesi,
+         CoherenceLookup::directory},
+        {"MESI / snoop bus", CoherenceFlavor::mesi,
+         CoherenceLookup::snoop},
+        {"MOESI / snoop bus", CoherenceFlavor::moesi,
+         CoherenceLookup::snoop},
+        {"MESI / non-inclusive LLC", CoherenceFlavor::mesi,
+         CoherenceLookup::directory, false},
+    };
+
+    Rng rng(15);
+    const BitString payload = randomBits(rng, 150);
+
+    std::cout << "== Protocol ablation: the channel is "
+                 "protocol-agnostic (paper Section VIII-E) ==\n\n";
+    TablePrinter table;
+    table.header({"protocol", "LExcl band", "LShared band",
+                  "accuracy @150K", "accuracy @500K"});
+    for (const Variant &v : variants) {
+        ChannelConfig cfg;
+        cfg.system.seed = 2018;
+        cfg.system.flavor = v.flavor;
+        cfg.system.lookup = v.lookup;
+        cfg.system.llcInclusive = v.inclusive;
+        cfg.scenario = Scenario::lexcC_lshB;
+        const CalibrationResult cal =
+            calibrate(cfg.system, 300, cfg.params);
+        const ChannelReport slow =
+            runCovertTransmission(cfg, payload, &cal);
+        cfg.params = ChannelParams::forTargetKbps(
+            500, cfg.system.timing);
+        const CalibrationResult cal_fast =
+            calibrate(cfg.system, 300, cfg.params);
+        const ChannelReport fast =
+            runCovertTransmission(cfg, payload, &cal_fast);
+        const auto &le = cal.band(Combo::localExcl);
+        const auto &ls = cal.band(Combo::localShared);
+        table.row(
+            {v.name,
+             "[" + TablePrinter::num(le.lo, 0) + "," +
+                 TablePrinter::num(le.hi, 0) + "]",
+             "[" + TablePrinter::num(ls.lo, 0) + "," +
+                 TablePrinter::num(ls.hi, 0) + "]",
+             TablePrinter::pct(slow.metrics.accuracy),
+             TablePrinter::pct(fast.metrics.accuracy)});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print(std::cout);
+    std::cout
+        << "\nPaper: 'our findings extend to different classes of "
+           "protocols' — snoop protocols serve E-state reads from "
+           "the owning private cache and S-state reads from the "
+           "shared cache, so the latency bands (and the channel) "
+           "survive every variant.\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: the cumulative distribution of load
+ * latency for each (location, coherence state) combination pair,
+ * measured with 1000 timed loads per combination, plus the uncached
+ * (DRAM) reference.
+ */
+
+#include <iostream>
+
+#include "channel/calibration.hh"
+#include "common/stats.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace csim;
+
+    SystemConfig cfg;
+    cfg.seed = 2018;
+    std::cout << "== Figure 2: load latency CDF per (location, "
+                 "coherence state) ==\n\n";
+    const CalibrationResult cal = calibrate(cfg, 1000);
+
+    TablePrinter summary;
+    summary.header({"combination", "samples", "mean", "p1", "p50",
+                    "p99", "band"});
+    auto row = [&](const std::string &name, const SampleSet &s,
+                   const LatencyBand &band) {
+        summary.row({name, std::to_string(s.count()),
+                     TablePrinter::num(s.mean()),
+                     TablePrinter::num(s.percentile(1)),
+                     TablePrinter::num(s.percentile(50)),
+                     TablePrinter::num(s.percentile(99)),
+                     "[" + TablePrinter::num(band.lo) + ", " +
+                         TablePrinter::num(band.hi) + "]"});
+    };
+    for (Combo c : allCombos())
+        row(comboName(c), cal.comboSamples(c), cal.band(c));
+    row("DRAM (uncached)", cal.dramSamples, cal.dramBand);
+    summary.print(std::cout);
+
+    // CDF series, 10% steps, as in the figure.
+    std::cout << "\nCDF (latency in cycles at each cumulative "
+                 "fraction):\n";
+    TablePrinter cdf;
+    cdf.header({"fraction", "LShared", "LExcl", "RShared", "RExcl",
+                "DRAM"});
+    for (int pct = 10; pct <= 100; pct += 10) {
+        std::vector<std::string> cells = {
+            std::to_string(pct) + "%"};
+        for (Combo c : allCombos()) {
+            cells.push_back(TablePrinter::num(
+                cal.comboSamples(c).percentile(pct)));
+        }
+        cells.push_back(
+            TablePrinter::num(cal.dramSamples.percentile(pct)));
+        cdf.row(cells);
+    }
+    cdf.print(std::cout);
+
+    // Latency histogram sparklines over a common axis.
+    std::cout << "\nDistribution (60..420 cycles, 60 buckets):\n";
+    for (Combo c : allCombos()) {
+        Histogram h(60, 420, 60);
+        for (double v : cal.comboSamples(c).values())
+            h.add(v);
+        std::cout << "  " << h.sparkline() << "  " << comboName(c)
+                  << "\n";
+    }
+    Histogram hd(60, 420, 60);
+    for (double v : cal.dramSamples.values())
+        hd.add(v);
+    std::cout << "  " << hd.sparkline() << "  DRAM\n";
+
+    std::cout << "\nPaper: distinct, narrow bands per combination "
+                 "(local S ~98, local E ~124 cycles), enabling "
+                 "band-based classification.\n";
+    return 0;
+}

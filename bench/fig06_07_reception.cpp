@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces paper Figures 6 and 7: the 100-bit pattern the trojan
+ * covertly transmits (Fig. 6) and the spy-side load-latency trace for
+ * each of the six scenarios (Fig. 7), including the magnified view of
+ * the first five bits' reception.
+ */
+
+#include <iostream>
+
+#include "channel/channel.hh"
+#include "common/table_printer.hh"
+
+namespace
+{
+
+using namespace csim;
+
+/** Render the spy trace region covering the first @p nbits bits. */
+void
+magnifiedView(const ChannelReport &rep, const CalibrationResult &cal,
+              const ScenarioInfo &sc, const ChannelParams &params,
+              int nbits)
+{
+    LatencyBand tc = cal.band(sc.csc);
+    LatencyBand tb = cal.band(sc.csb);
+    LatencyBand dram = cal.dramBand;
+    std::vector<LatencyBand *> used = {&tc, &tb, &dram};
+    claimGaps(used, params.gapClaim);
+
+    IncrementalTranslator tr(params.thold());
+    int bits = 0;
+    std::cout << "    ";
+    for (const SpySample &s : rep.spy.trace) {
+        if (bits >= nbits)
+            break;
+        const auto cls = classifySample(
+            static_cast<double>(s.latency), tc, tb);
+        const char mark = cls == SampleClass::communication ? 'C'
+                          : cls == SampleClass::boundary    ? 'b'
+                                                            : '.';
+        std::cout << mark << s.latency << " ";
+        if (tr.feed(cls))
+            ++bits;
+    }
+    std::cout << "\n    (C = Tc band sample, b = Tb band sample, "
+                 ". = out of band; number = load latency)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace csim;
+
+    ChannelConfig cfg;
+    cfg.system.seed = 2018;
+    cfg.collectTrace = true;
+    const CalibrationResult cal = calibrate(cfg.system, 400);
+
+    // Figure 6: the transmitted 100-bit pattern.
+    Rng rng(100);
+    const BitString pattern = randomBits(rng, 100);
+    std::cout << "== Figure 6: bit pattern (100 bits) covertly "
+                 "transmitted by the trojan ==\n\n  "
+              << bitsToString(pattern) << "\n\n";
+
+    // Figure 7: reception per scenario.
+    std::cout << "== Figure 7: bit reception by the spy ==\n";
+    TablePrinter table;
+    table.header({"scenario", "samples", "bits rx", "accuracy",
+                  "rate (Kbps)"});
+    for (const ScenarioInfo &sc : allScenarios()) {
+        cfg.scenario = sc.id;
+        const ChannelReport rep =
+            runCovertTransmission(cfg, pattern, &cal);
+        table.row({sc.notation,
+                   std::to_string(rep.spy.trace.size()),
+                   std::to_string(rep.received.size()),
+                   TablePrinter::pct(rep.metrics.accuracy),
+                   TablePrinter::num(rep.metrics.rawKbps)});
+        std::cout << "\n  " << sc.notation
+                  << " - magnified first 5 bits ("
+                  << bitsToString(BitString(pattern.begin(),
+                                            pattern.begin() + 5))
+                  << " sent):\n";
+        magnifiedView(rep, cal, sc, cfg.params, 5);
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nPaper: the spy deciphers all transmitted bits "
+                 "with 100% accuracy in all 6 scenarios; '1' bits "
+                 "appear as 4-5 consecutive Tc samples, '0' bits as "
+                 "1-2, boundaries as 4-5 Tb samples.\n";
+    return 0;
+}

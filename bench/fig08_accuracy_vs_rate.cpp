@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: raw bit accuracy as the transmission
+ * rate increases from 100 Kbps to 1 Mbps, for each of the six
+ * scenarios. The rate is tuned exactly as in the paper: by shrinking
+ * the spy's sampling interval and the trojan's re-load gap.
+ */
+
+#include <iostream>
+
+#include "channel/channel.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace csim;
+
+    ChannelConfig cfg;
+    cfg.system.seed = 2018;
+    // Dead operating points (the spy never locks on) would otherwise
+    // poll until the default timeout.
+    cfg.timeout = 120'000'000;
+    const CalibrationResult cal = calibrate(cfg.system, 400);
+    Rng rng(8);
+    const BitString payload = randomBits(rng, 400);
+
+    std::cout << "== Figure 8: raw bit accuracy vs transmission "
+                 "rate ==\n\n";
+    TablePrinter table;
+    std::vector<double> rates;
+    {
+        std::vector<std::string> header_cells = {"scenario"};
+        for (int r = 100; r <= 1000; r += 100) {
+            rates.push_back(r);
+            header_cells.push_back(std::to_string(r) + "K");
+        }
+        table.row(header_cells);
+    }
+    for (const ScenarioInfo &sc : allScenarios()) {
+        cfg.scenario = sc.id;
+        std::vector<std::string> cells = {sc.notation};
+        for (double rate : rates) {
+            cfg.params = ChannelParams::forTargetKbps(
+                rate, cfg.system.timing);
+            const ChannelReport rep =
+                runCovertTransmission(cfg, payload, &cal);
+            cells.push_back(
+                TablePrinter::pct(rep.metrics.accuracy));
+        }
+        table.row(cells);
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print(std::cout);
+    std::cout
+        << "\nPaper: accuracy stays high up to ~500 Kbps and drops "
+           "rapidly beyond; peak usable rate ~700 Kbps (binary "
+           "symbols). Who-wins shape to compare: all scenarios "
+           "nearly perfect at <=500K, visible degradation at "
+           ">=700K.\n";
+    return 0;
+}

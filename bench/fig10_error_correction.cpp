@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: effective information bit rate of the
+ * parity + NACK retransmission scheme, without noise and under
+ * medium (4 kernel-build) and high (8 kernel-build) noise, for all
+ * six scenarios.
+ */
+
+#include <iostream>
+
+#include "channel/ecc.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace csim;
+
+    ChannelConfig cfg;
+    cfg.system.seed = 2018;
+    // Moderate operating rate: the paper transmits packets at the
+    // channel's reliable rate and pays retransmission overhead on
+    // top.
+    cfg.params =
+        ChannelParams::forTargetKbps(300, cfg.system.timing);
+    const CalibrationResult cal =
+        calibrate(cfg.system, 400, cfg.params);
+    Rng rng(10);
+    const BitString payload = randomBits(rng, 1024);  // 2 packets
+
+    std::cout << "== Figure 10: effective rate with error "
+                 "detection + retransmission ==\n\n";
+    TablePrinter table;
+    table.header({"scenario", "no noise (Kbps)", "medium (Kbps)",
+                  "high (Kbps)", "retx (0/4/8)",
+                  "residual errors"});
+    for (const ScenarioInfo &sc : allScenarios()) {
+        cfg.scenario = sc.id;
+        std::vector<double> rates;
+        std::vector<int> retx;
+        std::uint64_t residual = 0;
+        for (int noise : {0, 4, 8}) {
+            cfg.noiseThreads = noise;
+            const EccReport rep =
+                runEccTransmission(cfg, payload, {}, &cal);
+            rates.push_back(rep.effectiveKbps);
+            retx.push_back(rep.retransmissions);
+            residual += rep.residualErrors;
+        }
+        table.row({sc.notation, TablePrinter::num(rates[0]),
+                   TablePrinter::num(rates[1]),
+                   TablePrinter::num(rates[2]),
+                   std::to_string(retx[0]) + "/" +
+                       std::to_string(retx[1]) + "/" +
+                       std::to_string(retx[2]),
+                   std::to_string(residual)});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print(std::cout);
+    std::cout
+        << "\nPaper: the retransmission scheme loses <10% rate "
+           "under medium noise and up to 24% worst case under high "
+           "noise, in exchange for (near-)guaranteed bit recovery. "
+           "Residual errors, when present, are even-numbered flips "
+           "inside one parity chunk - the scheme's documented blind "
+           "spot.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces paper Figure 11 and §VIII-D: a covert channel whose
+ * symbols encode 2 bits each by using all four (location, coherence
+ * state) combination pairs, raising the peak rate above the binary
+ * channel's. Prints the spy's reception of the paper's example
+ * 18-bit pattern (all four symbol values) and sweeps the sampling
+ * interval to find the peak rate of both channels.
+ */
+
+#include <iostream>
+
+#include "channel/symbols.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace csim;
+
+    ChannelConfig cfg;
+    cfg.system.seed = 2018;
+    cfg.timeout = 120'000'000;
+    cfg.collectTrace = true;
+    const CalibrationResult cal = calibrate(cfg.system, 400);
+
+    // The paper's magnified example: 100101000110011011 covers all
+    // four symbol values.
+    const BitString example = bitsFromString("100101000110011011");
+    std::cout << "== Figure 11: 2-bit symbol transmission ==\n\n";
+    std::cout << "first 18 bits sent:  " << bitsToString(example)
+              << "\n";
+    {
+        const SymbolReport rep =
+            runSymbolTransmission(cfg, example, {}, &cal);
+        std::cout << "received:            "
+                  << bitsToString(rep.received) << "\n";
+        std::cout << "symbols sent:        ";
+        for (int s : rep.sentSymbols)
+            std::cout << s << " ";
+        std::cout << "\nsymbols received:    ";
+        for (int s : rep.receivedSymbols)
+            std::cout << s << " ";
+        std::cout << "\nspy trace (latency per timed load):\n  ";
+        for (std::size_t i = 0;
+             i < rep.trace.size() && i < 60; ++i)
+            std::cout << rep.trace[i].latency << " ";
+        std::cout << "\n\n";
+    }
+
+    // Peak-rate comparison: binary vs 2-bit symbols, accepting the
+    // highest rate that still decodes with >= 90% accuracy.
+    cfg.collectTrace = false;
+    Rng rng(11);
+    const BitString payload = randomBits(rng, 300);
+    TablePrinter table;
+    table.header({"Ts (cycles)", "binary Kbps", "binary acc",
+                  "symbol Kbps", "symbol acc"});
+    double binary_peak = 0, symbol_peak = 0;
+    for (Tick ts : {2400u, 1600u, 1100u, 800u, 550u, 380u, 260u,
+                    180u, 120u, 80u}) {
+        cfg.params = ChannelParams{};
+        cfg.params.ts = ts;
+        cfg.params.helperGap = std::clamp<Tick>(ts / 3, 40, 150);
+        cfg.params.pollInterval = std::clamp<Tick>(ts / 4, 30, 100);
+        const ChannelReport bin =
+            runCovertTransmission(cfg, payload, &cal);
+        const SymbolReport sym =
+            runSymbolTransmission(cfg, payload, {}, &cal);
+        if (bin.metrics.accuracy >= 0.9)
+            binary_peak = std::max(binary_peak,
+                                   bin.metrics.rawKbps);
+        if (sym.metrics.accuracy >= 0.9)
+            symbol_peak = std::max(symbol_peak,
+                                   sym.metrics.rawKbps);
+        // A dead operating point decodes (nearly) nothing; its
+        // nominal rate is meaningless.
+        auto rate_cell = [](const ChannelMetrics &m) {
+            return m.accuracy >= 0.5 ? TablePrinter::num(m.rawKbps)
+                                     : std::string("-");
+        };
+        table.row({std::to_string(ts),
+                   rate_cell(bin.metrics),
+                   TablePrinter::pct(bin.metrics.accuracy),
+                   rate_cell(sym.metrics),
+                   TablePrinter::pct(sym.metrics.accuracy)});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print(std::cout);
+    std::cout << "\npeak rate at >=90% accuracy: binary "
+              << TablePrinter::num(binary_peak) << " Kbps, 2-bit "
+              << "symbols " << TablePrinter::num(symbol_peak)
+              << " Kbps ("
+              << TablePrinter::num(symbol_peak /
+                                   std::max(binary_peak, 1.0), 2)
+              << "x)\n";
+    std::cout << "\nPaper: multi-bit symbols raise the peak from "
+                 "~700 Kbps to ~1.1 Mbps (~1.6x).\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Table I: the six covert-channel scenarios with
+ * their (communication, boundary) combination pairs and trojan
+ * loader-thread counts — and verifies each scenario actually places
+ * the block where Table I says, plus the §VII-A synchronization cost.
+ */
+
+#include <iostream>
+
+#include "channel/channel.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace csim;
+
+    ChannelConfig cfg;
+    cfg.system.seed = 2018;
+    const CalibrationResult cal = calibrate(cfg.system, 400);
+
+    std::cout << "== Table I: trojan implementations ==\n\n";
+    TablePrinter table;
+    table.header({"notation", "CSc", "CSb", "trojan threads",
+                  "placement", "sync (ms)", "accuracy"});
+    Rng rng(77);
+    const BitString payload = randomBits(rng, 60);
+    for (const ScenarioInfo &sc : allScenarios()) {
+        cfg.scenario = sc.id;
+        const ChannelReport rep =
+            runCovertTransmission(cfg, payload, &cal);
+        const std::string threads =
+            std::to_string(sc.localLoaders + sc.remoteLoaders) +
+            " (" + std::to_string(sc.localLoaders) + " local, " +
+            std::to_string(sc.remoteLoaders) + " remote)";
+        const Tick sync_cycles =
+            rep.trojan.syncEnd - rep.trojan.syncStart;
+        table.row({sc.notation, comboName(sc.csc),
+                   comboName(sc.csb), threads,
+                   rep.completed ? "verified" : "FAILED",
+                   TablePrinter::num(
+                       cfg.system.timing.cyclesToSeconds(
+                           sync_cycles) * 1e3, 3),
+                   TablePrinter::pct(rep.metrics.accuracy)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: 6 scenarios, loader counts 2/2/2/3/3/4; "
+                 "trojan-spy synchronization averaged ~90 ms on "
+                 "real hardware (our simulated handshake converges "
+                 "in far fewer probes since both parties start "
+                 "together).\n";
+    return 0;
+}

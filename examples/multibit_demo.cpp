@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multi-bit symbol channel demo (paper §VIII-D): every transmitted
+ * symbol encodes 2 bits by placing block B into one of the four
+ * (location, coherence state) combinations; the spy decodes symbols
+ * from four distinct latency bands.
+ */
+
+#include <iostream>
+
+#include "channel/symbols.hh"
+#include "common/table_printer.hh"
+
+int
+main()
+{
+    using namespace csim;
+
+    ChannelConfig cfg;
+    cfg.system.seed = 4242;
+    cfg.collectTrace = true;
+
+    const std::string secret = "QUAD";
+    std::cout << "== 2-bit symbol covert channel ==\n\n";
+    std::cout << "symbol alphabet: 00=" << comboName(symbolCombo(0))
+              << " 01=" << comboName(symbolCombo(1))
+              << " 10=" << comboName(symbolCombo(2))
+              << " 11=" << comboName(symbolCombo(3)) << "\n\n";
+
+    const SymbolReport rep =
+        runSymbolTransmission(cfg, textToBits(secret));
+
+    std::cout << "sent symbols:     ";
+    for (int s : rep.sentSymbols)
+        std::cout << s;
+    std::cout << "\nreceived symbols: ";
+    for (int s : rep.receivedSymbols)
+        std::cout << s;
+    std::cout << "\ndecoded text:     \""
+              << bitsToText(rep.received) << "\"\n";
+    std::cout << "accuracy: "
+              << TablePrinter::pct(rep.metrics.accuracy)
+              << ", rate: "
+              << TablePrinter::num(rep.metrics.rawKbps)
+              << " Kbps (2 bits per symbol)\n\n";
+
+    std::cout << "spy latency trace (one load per line sample):\n  ";
+    for (std::size_t i = 0; i < rep.trace.size() && i < 48; ++i)
+        std::cout << rep.trace[i].latency << " ";
+    std::cout << "...\n";
+    return rep.metrics.accuracy > 0.9 ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * High-level covert-channel experiment driver: builds a machine,
+ * establishes shared memory, spawns noise/trojan/spy and runs one
+ * complete covert transmission. This is the public API the examples
+ * and benchmark harnesses use.
+ */
+
+#ifndef COHERSIM_CHANNEL_CHANNEL_HH
+#define COHERSIM_CHANNEL_CHANNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/calibration.hh"
+#include "channel/combo.hh"
+#include "channel/metrics.hh"
+#include "channel/noise.hh"
+#include "channel/protocol.hh"
+#include "channel/sharing.hh"
+#include "channel/spy.hh"
+#include "channel/trojan.hh"
+#include "common/bit_string.hh"
+#include "mem/params.hh"
+
+namespace csim
+{
+
+/** Configuration of one covert-channel experiment. */
+struct ChannelConfig
+{
+    SystemConfig system;
+    Scenario scenario = Scenario::lexcC_lshB;
+    ChannelParams params;
+    SharingMode sharing = SharingMode::explicitShared;
+    /** Co-located kernel-build noise threads (paper Fig. 9). */
+    int noiseThreads = 0;
+    NoiseConfig noise;
+    /** Record the spy's raw latency trace (paper Fig. 7). */
+    bool collectTrace = false;
+    /** Safety stop, in cycles (~300 ms of simulated time). */
+    Tick timeout = 800'000'000ULL;
+};
+
+/** Everything one transmission produced. */
+struct ChannelReport
+{
+    BitString sent;
+    BitString received;
+    ChannelMetrics metrics;
+    TrojanResult trojan;
+    SpyResult spy;
+    SharedBlock shared;
+    /** False if the run hit the safety timeout. */
+    bool completed = false;
+};
+
+/**
+ * Run one covert transmission of @p payload.
+ *
+ * @param cfg experiment configuration.
+ * @param payload bits the trojan exfiltrates.
+ * @param cal pre-computed calibration to reuse across a sweep;
+ *            calibrated on a scratch machine when null.
+ */
+ChannelReport runCovertTransmission(const ChannelConfig &cfg,
+                                    const BitString &payload,
+                                    const CalibrationResult *cal =
+                                        nullptr);
+
+/**
+ * Core placement plan shared by all experiment drivers, mirroring the
+ * paper's pinning (spy on socket 0; trojan loaders on both sockets;
+ * noise threads spread over the remaining cores, oversubscribing
+ * loader cores once the free ones are exhausted).
+ */
+struct CorePlan
+{
+    CoreId spy;
+    CoreId controller;
+    std::vector<CoreId> localLoaders;   //!< spy-socket loader cores
+    std::vector<CoreId> remoteLoaders;  //!< other-socket loader cores
+    std::vector<CoreId> noise;          //!< noise placement order
+
+    /** Build the standard plan for a machine configuration. */
+    static CorePlan standard(const SystemConfig &sys);
+};
+
+/**
+ * Common experiment plumbing shared by the binary channel, the
+ * multi-bit symbol channel and the error-corrected session: machine,
+ * processes, shared block, noise agents and the trojan's loader crew.
+ */
+class ExperimentRig
+{
+  public:
+    /**
+     * @param cfg experiment configuration.
+     * @param n_local local loader threads to spawn.
+     * @param n_remote remote loader threads to spawn.
+     * @param csc the communication combo; the adversaries pick the
+     *        line within their shared page whose NUMA home matches
+     *        the combo's socket, so its re-fetches after each spy
+     *        flush avoid the cross-socket memory penalty.
+     */
+    ExperimentRig(const ChannelConfig &cfg, int n_local, int n_remote,
+                  Combo csc = Combo::localShared);
+
+    ExperimentRig(const ExperimentRig &) = delete;
+    ExperimentRig &operator=(const ExperimentRig &) = delete;
+
+    Machine machine;
+    CorePlan plan;
+    Process *trojanProc = nullptr;
+    Process *spyProc = nullptr;
+    SharedBlock shared;
+    std::unique_ptr<PlacerCrew> crew;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_CHANNEL_HH

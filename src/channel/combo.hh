@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The (cache location, coherence state) combination pairs the paper's
+ * channels are built from, and the six attack scenarios of Table I.
+ *
+ * Location is always relative to the spy: "local" means the spy's
+ * socket, "remote" means the other socket.
+ */
+
+#ifndef COHERSIM_CHANNEL_COMBO_HH
+#define COHERSIM_CHANNEL_COMBO_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/params.hh"
+#include "sim/memory_backend.hh"
+
+namespace csim
+{
+
+/** The four distinguishable (location, coherence state) pairs. */
+enum class Combo : std::uint8_t
+{
+    localShared,   //!< S-state block served by the spy-side LLC
+    localExcl,     //!< E-state block forwarded from a same-socket core
+    remoteShared,  //!< S-state block served by the other socket's LLC
+    remoteExcl,    //!< E-state block forwarded from an other-socket core
+};
+
+inline constexpr int numCombos = 4;
+
+/** Printable name, matching the paper's notation (LShared etc.). */
+const char *comboName(Combo c);
+
+/** Index for array-per-combo storage. */
+constexpr std::size_t
+comboIndex(Combo c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+/** All four combos in index order. */
+const std::array<Combo, 4> &allCombos();
+
+/** Mean path latency the timing model assigns to a combo. */
+Tick comboBaseLatency(Combo c, const TimingParams &t);
+
+/** The ServedBy value a correctly placed combo produces. */
+ServedBy comboExpectedService(Combo c);
+
+/** Loader threads a combo needs on the spy's socket. */
+int comboLocalLoaders(Combo c);
+
+/** Loader threads a combo needs on the remote socket. */
+int comboRemoteLoaders(Combo c);
+
+/** The six attack scenarios of Table I. */
+enum class Scenario : std::uint8_t
+{
+    lexcC_lshB,  //!< (Local Exclusive, Local Shared)
+    rexcC_rshB,  //!< (Remote Exclusive, Remote Shared)
+    rexcC_lexB,  //!< (Remote Exclusive, Local Exclusive)
+    rexcC_lshB,  //!< (Remote Exclusive, Local Shared)
+    rshC_lexB,   //!< (Remote Shared, Local Exclusive)
+    rshC_lshB,   //!< (Remote Shared, Local Shared)
+};
+
+inline constexpr int numScenarios = 6;
+
+/** Static description of one scenario (a row of Table I). */
+struct ScenarioInfo
+{
+    Scenario id;
+    Combo csc;            //!< combination used for bit communication
+    Combo csb;            //!< combination used for bit boundaries
+    const char *notation; //!< paper notation, e.g. "LExclc-LSharedb"
+    int localLoaders;     //!< trojan loader threads on spy's socket
+    int remoteLoaders;    //!< trojan loader threads on remote socket
+};
+
+/** All six scenarios in Table I order. */
+const std::array<ScenarioInfo, 6> &allScenarios();
+
+/** Scenario description by id. */
+const ScenarioInfo &scenarioInfo(Scenario s);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_COMBO_HH

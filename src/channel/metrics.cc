@@ -1,0 +1,21 @@
+#include "channel/metrics.hh"
+
+#include "common/edit_distance.hh"
+
+namespace csim
+{
+
+ChannelMetrics
+computeMetrics(const BitString &sent, const BitString &received,
+               Tick tx_start, Tick tx_end, const TimingParams &timing)
+{
+    ChannelMetrics m;
+    m.bitsSent = sent.size();
+    m.bitsReceived = received.size();
+    m.accuracy = rawBitAccuracy(sent, received);
+    m.durationCycles = tx_end > tx_start ? tx_end - tx_start : 0;
+    m.rawKbps = timing.kbps(m.bitsSent, m.durationCycles);
+    return m;
+}
+
+} // namespace csim

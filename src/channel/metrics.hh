@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Channel quality metrics: raw bit accuracy (edit-distance based, so
+ * lost/duplicated/flipped bits all count, §VIII-B) and transmission
+ * rates in the units the paper reports.
+ */
+
+#ifndef COHERSIM_CHANNEL_METRICS_HH
+#define COHERSIM_CHANNEL_METRICS_HH
+
+#include <cstdint>
+
+#include "common/bit_string.hh"
+#include "common/types.hh"
+#include "mem/params.hh"
+
+namespace csim
+{
+
+/** Summary of one transmission. */
+struct ChannelMetrics
+{
+    std::uint64_t bitsSent = 0;
+    std::uint64_t bitsReceived = 0;
+    /** Raw bit accuracy in [0, 1] (1 = perfect reception). */
+    double accuracy = 0.0;
+    /** Transmission duration in cycles (trojan tx start to spy end). */
+    Tick durationCycles = 0;
+    /** Raw transmitted bits per second, in Kbits/s. */
+    double rawKbps = 0.0;
+};
+
+/** Compute metrics for a completed transmission. */
+ChannelMetrics computeMetrics(const BitString &sent,
+                              const BitString &received, Tick tx_start,
+                              Tick tx_end, const TimingParams &timing);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_METRICS_HH

@@ -1,0 +1,77 @@
+#include "channel/noise.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace csim
+{
+
+Task
+kernelBuildBody(ThreadApi api, VAddr buffer_base, NoiseConfig cfg,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::uint64_t lines = cfg.bufferBytes / lineBytes;
+    std::uint64_t stream_pos = 0;
+    auto jittered = [&rng](Tick base) {
+        const auto b = static_cast<std::int64_t>(base);
+        return static_cast<Tick>(
+            rng.range(b - (b * 2) / 5, b + (b * 2) / 5));
+    };
+    Tick episode_end = api.now() + jittered(cfg.activePhase);
+    for (;;) {
+        if (api.now() >= episode_end) {
+            // Compile step done: block on I/O / process churn.
+            co_await api.sleep(jittered(cfg.idlePhase));
+            episode_end = api.now() + jittered(cfg.activePhase);
+        }
+        // Compilation phase: stream sequentially through a window.
+        for (int i = 0; i < cfg.streamBurst; ++i) {
+            const VAddr addr =
+                buffer_base + (stream_pos % lines) * lineBytes;
+            ++stream_pos;
+            co_await api.load(addr);
+            co_await api.spin(cfg.accessGap);
+        }
+        co_await api.sleep(cfg.interBurstGap);
+        // Linking phase: random lookups, some of them stores.
+        for (int i = 0; i < cfg.randomBurst; ++i) {
+            const VAddr addr =
+                buffer_base + rng.below(lines) * lineBytes;
+            if (rng.chance(cfg.storeFraction))
+                co_await api.store(addr);
+            else
+                co_await api.load(addr);
+            co_await api.spin(cfg.accessGap);
+        }
+        co_await api.sleep(cfg.interBurstGap);
+    }
+}
+
+std::vector<SimThread *>
+spawnNoiseAgents(Machine &machine, int count,
+                 const std::vector<CoreId> &cores,
+                 const NoiseConfig &cfg, std::uint64_t seed)
+{
+    fatal_if(count > 0 && cores.empty(),
+             "noise agents need at least one core to run on");
+    std::vector<SimThread *> threads;
+    threads.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        Process &proc = machine.kernel.createProcess(
+            "kernel-build." + std::to_string(i));
+        const VAddr buffer = proc.mmap(cfg.bufferBytes);
+        const CoreId core =
+            cores[static_cast<std::size_t>(i) % cores.size()];
+        const std::uint64_t agent_seed =
+            seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+        threads.push_back(machine.kernel.spawnThread(
+            machine.sched, "kernel-build." + std::to_string(i), core,
+            proc, [buffer, cfg, agent_seed](ThreadApi api) {
+                return kernelBuildBody(api, buffer, cfg, agent_seed);
+            }));
+    }
+    return threads;
+}
+
+} // namespace csim

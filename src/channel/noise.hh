@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The kernel-build noise workload (paper §VIII-C).
+ *
+ * Each noise thread models one `kcbench` compiler job: alternating
+ * phases of streaming reads over a large buffer (preprocessing /
+ * compilation), random pointer-chase-like accesses (symbol and
+ * header lookups) and store bursts (object-file output). The agents
+ * saturate the LLC ports, QPI link and DRAM channel, producing the
+ * latency tails and occasional evictions that degrade the covert
+ * channel's bit accuracy.
+ */
+
+#ifndef COHERSIM_CHANNEL_NOISE_HH
+#define COHERSIM_CHANNEL_NOISE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/kernel.hh"
+#include "sim/task.hh"
+#include "sim/thread_api.hh"
+
+namespace csim
+{
+
+/** Behavioural knobs of one noise agent. */
+struct NoiseConfig
+{
+    std::uint64_t bufferBytes = 8ull * 1024 * 1024;
+    /** Lines touched per streaming burst. */
+    int streamBurst = 48;
+    /** Lines touched per random burst. */
+    int randomBurst = 24;
+    /** Fraction of random-burst accesses that are stores. */
+    double storeFraction = 0.3;
+    /** Idle gap between accesses within a burst, cycles. */
+    Tick accessGap = 8;
+    /** Blocking pause between bursts (I/O wait), cycles. */
+    Tick interBurstGap = 2500;
+    /**
+     * Kernel-build jobs are episodic at the millisecond scale: a
+     * compile phase of sustained memory activity, then an I/O/fork
+     * phase with the job blocked. Durations are randomized +-40%.
+     */
+    Tick activePhase = 9'000'000;
+    Tick idlePhase = 13'000'000;
+};
+
+/**
+ * The noise-agent coroutine. Runs forever; it is reclaimed when the
+ * scheduler is destroyed.
+ *
+ * @param api the agent's thread.
+ * @param buffer_base base of the agent's private working buffer.
+ * @param cfg behavioural knobs.
+ * @param seed per-agent RNG seed.
+ */
+Task kernelBuildBody(ThreadApi api, VAddr buffer_base,
+                     NoiseConfig cfg, std::uint64_t seed);
+
+/**
+ * Spawn @p count kernel-build noise processes, each with one thread
+ * pinned round-robin over @p cores.
+ *
+ * @return the spawned threads.
+ */
+std::vector<SimThread *>
+spawnNoiseAgents(Machine &machine, int count,
+                 const std::vector<CoreId> &cores,
+                 const NoiseConfig &cfg = {},
+                 std::uint64_t seed = 0xb0153ull);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_NOISE_HH

@@ -1,0 +1,117 @@
+#include "channel/placer.hh"
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+Task
+placerHelperBody(ThreadApi api, HelperCtl *ctl, Tick gap, Tick poll)
+{
+    static const bool debug =
+        std::getenv("CSIM_DEBUG_HELPER") != nullptr;
+    for (;;) {
+        if (debug) {
+            inform("helper tid=", api.id(), " t=", api.now(),
+                   " mode=", static_cast<int>(ctl->mode));
+        }
+        switch (ctl->mode) {
+          case HelperCtl::Mode::stop:
+            co_return;
+          case HelperCtl::Mode::maintain:
+            ++ctl->loadsIssued;
+            co_await api.load(ctl->addr);
+            co_await api.spin(gap);
+            break;
+          case HelperCtl::Mode::idle:
+            co_await api.spin(poll);
+            break;
+        }
+    }
+}
+
+PlacerCrew::PlacerCrew(Kernel &kernel, Scheduler &sched, Process &proc,
+                       const std::vector<CoreId> &local_cores,
+                       const std::vector<CoreId> &remote_cores,
+                       const ChannelParams &params)
+    : nLocal_(local_cores.size())
+{
+    fatal_if(local_cores.size() > 2 || remote_cores.size() > 2,
+             "a combo never needs more than two loaders per socket");
+    auto spawn_one = [&](CoreId core, const std::string &name) {
+        ctls_.push_back(std::make_unique<HelperCtl>());
+        HelperCtl *ctl = ctls_.back().get();
+        kernel.spawnThread(sched, name, core, proc,
+                           [ctl, &params](ThreadApi api) {
+                               return placerHelperBody(
+                                   api, ctl, params.helperGap,
+                                   params.pollInterval);
+                           });
+    };
+    for (std::size_t i = 0; i < local_cores.size(); ++i)
+        spawn_one(local_cores[i],
+                  "trojan.loaderL" + std::to_string(i));
+    for (std::size_t i = 0; i < remote_cores.size(); ++i)
+        spawn_one(remote_cores[i],
+                  "trojan.loaderR" + std::to_string(i));
+}
+
+PlacerCrew::~PlacerCrew()
+{
+    stopAll();
+}
+
+void
+PlacerCrew::activate(Combo c, VAddr addr)
+{
+    const int want_local = comboLocalLoaders(c);
+    const int want_remote = comboRemoteLoaders(c);
+    panic_if(want_local > localCount(),
+             "combo ", comboName(c), " needs ", want_local,
+             " local loaders, crew has ", localCount());
+    panic_if(want_remote > remoteCount(),
+             "combo ", comboName(c), " needs ", want_remote,
+             " remote loaders, crew has ", remoteCount());
+    for (std::size_t i = 0; i < ctls_.size(); ++i) {
+        const bool is_local = i < nLocal_;
+        const int rank =
+            static_cast<int>(is_local ? i : i - nLocal_);
+        const bool active =
+            rank < (is_local ? want_local : want_remote);
+        HelperCtl &ctl = *ctls_[i];
+        if (active) {
+            ctl.addr = addr;
+            ctl.mode = HelperCtl::Mode::maintain;
+        } else if (ctl.mode != HelperCtl::Mode::stop) {
+            ctl.mode = HelperCtl::Mode::idle;
+        }
+    }
+}
+
+void
+PlacerCrew::idle()
+{
+    for (auto &ctl : ctls_) {
+        if (ctl->mode != HelperCtl::Mode::stop)
+            ctl->mode = HelperCtl::Mode::idle;
+    }
+}
+
+void
+PlacerCrew::stopAll()
+{
+    for (auto &ctl : ctls_)
+        ctl->mode = HelperCtl::Mode::stop;
+}
+
+std::uint64_t
+PlacerCrew::totalLoads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ctl : ctls_)
+        n += ctl->loadsIssued;
+    return n;
+}
+
+} // namespace csim

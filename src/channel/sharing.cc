@@ -1,0 +1,102 @@
+#include "channel/sharing.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+namespace
+{
+
+/** Fill one page in @p proc with the pattern derived from a seed. */
+VAddr
+makePatternPage(Process &proc, std::uint64_t seed)
+{
+    const VAddr va = proc.mmap(pageBytes);
+    Rng rng(seed);
+    std::vector<std::uint8_t> pattern(pageBytes);
+    for (auto &b : pattern)
+        b = static_cast<std::uint8_t>(rng.next());
+    proc.writeData(va, pattern);
+    proc.madviseMergeable(va, pageBytes);
+    return va;
+}
+
+/** One merge attempt; returns true when uniquely shared. */
+bool
+tryDedup(Machine &machine, Process &trojan, Process &spy,
+         std::uint64_t seed, VAddr &tva, VAddr &sva, PAddr &paddr)
+{
+    tva = makePatternPage(trojan, seed);
+    sva = makePatternPage(spy, seed);
+    machine.kernel.runKsmScan();
+    const PAddr pt = pageAlign(trojan.translate(tva));
+    const PAddr ps = pageAlign(spy.translate(sva));
+    if (pt != ps)
+        return false;  // merge did not happen
+    // Trial-communication check (§IV): make sure no external process
+    // shares this page, otherwise its accesses would add noise. The
+    // refcount stands in for the paper's flush+reload probing.
+    if (machine.kernel.phys().refCount(pt) != 2)
+        return false;
+    paddr = pt;
+    return true;
+}
+
+} // namespace
+
+const char *
+sharingModeName(SharingMode m)
+{
+    switch (m) {
+      case SharingMode::explicitShared: return "explicit";
+      case SharingMode::ksm: return "ksm";
+    }
+    return "?";
+}
+
+SharedBlock
+establishSharedBlock(Machine &machine, Process &trojan, Process &spy,
+                     SharingMode mode, std::uint64_t pattern_seed)
+{
+    SharedBlock out;
+    if (mode == SharingMode::explicitShared) {
+        const auto [tva, sva] =
+            machine.kernel.mapSharedRegion(trojan, spy, pageBytes);
+        out.trojanVa = tva;
+        out.spyVa = sva;
+        out.paddr = pageAlign(trojan.translate(tva));
+        return out;
+    }
+
+    out.viaKsm = true;
+    constexpr int maxAttempts = 16;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        out.attempts = attempt + 1;
+        const std::uint64_t seed =
+            pattern_seed + static_cast<std::uint64_t>(attempt) *
+                               0x9e3779b97f4a7c15ULL;
+        VAddr tva, sva;
+        PAddr paddr;
+        if (!tryDedup(machine, trojan, spy, seed, tva, sva, paddr))
+            continue;
+        out.trojanVa = tva;
+        out.spyVa = sva;
+        out.paddr = paddr;
+        // Deduplicate a spare page too, so a later external merge
+        // onto the active page can be survived without re-invoking
+        // KSM (paper §VII-A).
+        VAddr stva, ssva;
+        PAddr spaddr;
+        if (tryDedup(machine, trojan, spy, seed ^ 0x5bd1e995, stva,
+                     ssva, spaddr)) {
+            out.spareTrojanVa = stva;
+            out.spareSpyVa = ssva;
+        }
+        return out;
+    }
+    fatal("KSM sharing failed after ", maxAttempts,
+          " pattern attempts");
+}
+
+} // namespace csim

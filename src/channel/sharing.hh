@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Establishing the shared physical memory the channel runs over
+ * (paper §IV): either explicitly shared read-only pages (the
+ * shared-library model of prior work) or implicitly shared pages
+ * force-created through KSM memory deduplication.
+ */
+
+#ifndef COHERSIM_CHANNEL_SHARING_HH
+#define COHERSIM_CHANNEL_SHARING_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "os/kernel.hh"
+
+namespace csim
+{
+
+/** How trojan and spy obtain a shared physical page. */
+enum class SharingMode : std::uint8_t
+{
+    explicitShared,  //!< explicitly shared read-only mapping
+    ksm,             //!< implicit sharing via memory deduplication
+};
+
+const char *sharingModeName(SharingMode m);
+
+/** Outcome of shared-block establishment. */
+struct SharedBlock
+{
+    VAddr trojanVa = 0;  //!< block B in the trojan's address space
+    VAddr spyVa = 0;     //!< block B in the spy's address space
+    PAddr paddr = 0;     //!< the single backing physical line
+    bool viaKsm = false;
+    /** Pattern-generation attempts (>1 when external sharers hit). */
+    int attempts = 1;
+    /** Spare deduplicated page kept in reserve (KSM mode; 0 if none). */
+    VAddr spareTrojanVa = 0;
+    VAddr spareSpyVa = 0;
+};
+
+/**
+ * Establish the shared block B between @p trojan and @p spy.
+ *
+ * In KSM mode both processes fill a page with an identical
+ * pseudo-random pattern derived from a pre-agreed seed, madvise it
+ * mergeable and wait for the (simulated) KSM daemon to merge them.
+ * If an external process already shares the resulting page (detected
+ * by its reference count, standing in for the paper's timing-based
+ * trial communication), a fresh pattern is generated and the
+ * procedure repeats. A spare page is deduplicated alongside, as the
+ * paper recommends, so a mid-session collision never requires
+ * re-invoking KSM.
+ *
+ * @param machine the simulated machine.
+ * @param trojan trojan process.
+ * @param spy spy process.
+ * @param mode sharing mode.
+ * @param pattern_seed seed both parties know ahead of time.
+ * @return descriptor of the shared block.
+ */
+SharedBlock establishSharedBlock(Machine &machine, Process &trojan,
+                                 Process &spy, SharingMode mode,
+                                 std::uint64_t pattern_seed);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_SHARING_HH

@@ -1,0 +1,74 @@
+#include "channel/trojan.hh"
+
+namespace csim
+{
+
+Task
+trojanSyncPhase(ThreadApi api, VAddr block,
+                const CalibrationResult &cal,
+                const ChannelParams &params, TrojanResult &out)
+{
+    out.syncStart = api.now();
+    // Any reload meaningfully faster than an uncached fetch implies
+    // another cache supplied the block: the spy is polling. The
+    // probe interval chirps so the two parties' identical loop
+    // periods cannot stay phase-locked with the spy's load always
+    // falling just outside the trojan's observation window.
+    const double cached_threshold = cal.dramBand.lo - 2.0;
+    for (;;) {
+        ++out.syncProbes;
+        co_await api.flush(block);
+        const Tick chirp =
+            (static_cast<Tick>(out.syncProbes) * 131) %
+            (params.ts + 1);
+        co_await api.spin(params.ts / 2 + chirp);
+        const Tick lat = co_await api.load(block);
+        if (static_cast<double>(lat) < cached_threshold)
+            break;
+    }
+    out.syncEnd = api.now();
+}
+
+Task
+trojanTransmit(ThreadApi api, PlacerCrew &crew, VAddr block,
+               const ScenarioInfo &scenario,
+               const ChannelParams &params, Tick sample_period,
+               const BitString &bits, TrojanResult &out)
+{
+    out.txStart = api.now();
+    Tick phase_start = api.now();
+    // Phase switches do not flush B: copies left by the previous
+    // phase's loaders persist only until the spy's next flush, so
+    // observations lag the phase grid by at most one sample — a
+    // uniform shift that preserves every run length. (An explicit
+    // trojan-side flush would instead corrupt the first sample of
+    // every phase while the re-fetch is in flight.)
+    auto hold = [&](Combo c, int periods) -> Task {
+        crew.activate(c, block);
+        phase_start += static_cast<Tick>(periods) * sample_period;
+        co_await api.spinUntil(phase_start);
+    };
+    // An extended lead-in boundary lets the spy lock on (it needs
+    // two consecutive Tb observations to declare the start).
+    co_await hold(scenario.csb, params.cb + 2);
+    for (std::uint8_t bit : bits) {
+        co_await hold(scenario.csc, bit ? params.c1 : params.c0);
+        co_await hold(scenario.csb, params.cb);
+    }
+    crew.idle();
+    out.txEnd = api.now();
+}
+
+Task
+trojanBody(ThreadApi api, PlacerCrew &crew, VAddr block,
+           const ScenarioInfo &scenario, const CalibrationResult &cal,
+           const ChannelParams &params, const TimingParams &timing,
+           const BitString &bits, TrojanResult &out)
+{
+    co_await trojanSyncPhase(api, block, cal, params, out);
+    const Tick period = params.nominalSamplePeriod(timing);
+    co_await trojanTransmit(api, crew, block, scenario, params,
+                            period, bits, out);
+}
+
+} // namespace csim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The trojan (transmitter) side of the covert channel — Algorithm 1
+ * and the pre-transmission synchronization of §VII-A.
+ *
+ * The trojan is multi-threaded: a controller coroutine sequences the
+ * phases while a PlacerCrew of loader threads holds block B in the
+ * required (location, state) combination. Phase durations are
+ * multiples of the spy's nominal sample period, so the spy observes
+ * C1/C0 consecutive Tc samples per bit and Cb Tb samples per
+ * boundary.
+ */
+
+#ifndef COHERSIM_CHANNEL_TROJAN_HH
+#define COHERSIM_CHANNEL_TROJAN_HH
+
+#include "channel/calibration.hh"
+#include "channel/combo.hh"
+#include "channel/placer.hh"
+#include "channel/protocol.hh"
+#include "common/bit_string.hh"
+#include "common/types.hh"
+#include "sim/task.hh"
+#include "sim/thread_api.hh"
+
+namespace csim
+{
+
+/** What the trojan recorded about its own transmission. */
+struct TrojanResult
+{
+    Tick syncStart = 0;   //!< when synchronization polling began
+    Tick syncEnd = 0;     //!< when the spy's presence was detected
+    Tick txStart = 0;     //!< first boundary phase of the payload
+    Tick txEnd = 0;       //!< after the final boundary phase
+    int syncProbes = 0;   //!< flush+reload probes spent synchronizing
+};
+
+/**
+ * Synchronization phase (§VII-A): flush + reload B repeatedly; a
+ * reload faster than the DRAM band means another party (the spy) has
+ * cached B between our flush and reload.
+ */
+Task trojanSyncPhase(ThreadApi api, VAddr block,
+                     const CalibrationResult &cal,
+                     const ChannelParams &params, TrojanResult &out);
+
+/**
+ * Transmit @p bits once synchronization has completed: for each bit,
+ * hold CSb for Cb sample periods, then CSc for C1 (bit '1') or C0
+ * (bit '0') periods; finish with a trailing boundary and go quiet.
+ */
+Task trojanTransmit(ThreadApi api, PlacerCrew &crew, VAddr block,
+                    const ScenarioInfo &scenario,
+                    const ChannelParams &params, Tick sample_period,
+                    const BitString &bits, TrojanResult &out);
+
+/** Full trojan controller: sync, then transmit. */
+Task trojanBody(ThreadApi api, PlacerCrew &crew, VAddr block,
+                const ScenarioInfo &scenario,
+                const CalibrationResult &cal,
+                const ChannelParams &params, const TimingParams &timing,
+                const BitString &bits, TrojanResult &out);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_TROJAN_HH

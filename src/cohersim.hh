@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Umbrella header: everything a downstream user of CoherSim needs.
+ *
+ * The layering is strict — common <- sim <- mem <- os <- channel —
+ * and each sub-header can also be included individually.
+ */
+
+#ifndef COHERSIM_COHERSIM_HH
+#define COHERSIM_COHERSIM_HH
+
+// Utilities.
+#include "common/bit_string.hh"
+#include "common/edit_distance.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table_printer.hh"
+#include "common/types.hh"
+
+// Execution engine.
+#include "sim/memory_backend.hh"
+#include "sim/scheduler.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "sim/thread.hh"
+#include "sim/thread_api.hh"
+
+// Coherent memory hierarchy.
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "mem/params.hh"
+
+// Operating system substrate.
+#include "os/kernel.hh"
+#include "os/ksm.hh"
+#include "os/ksm_guard.hh"
+#include "os/phys_mem.hh"
+#include "os/process.hh"
+
+// Defences.
+#include "detect/cchunter.hh"
+
+// The covert-channel stack.
+#include "channel/calibration.hh"
+#include "channel/channel.hh"
+#include "channel/combo.hh"
+#include "channel/ecc.hh"
+#include "channel/metrics.hh"
+#include "channel/noise.hh"
+#include "channel/placer.hh"
+#include "channel/protocol.hh"
+#include "channel/sharing.hh"
+#include "channel/spy.hh"
+#include "channel/symbols.hh"
+#include "channel/trojan.hh"
+
+#endif // COHERSIM_COHERSIM_HH

@@ -1,0 +1,119 @@
+#include "common/bit_string.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace csim
+{
+
+BitString
+randomBits(Rng &rng, std::size_t n)
+{
+    BitString bits(n);
+    for (auto &b : bits)
+        b = static_cast<std::uint8_t>(rng.next() & 1);
+    return bits;
+}
+
+BitString
+bytesToBits(const std::vector<std::uint8_t> &bytes)
+{
+    BitString bits;
+    bits.reserve(bytes.size() * 8);
+    for (std::uint8_t byte : bytes)
+        for (int i = 7; i >= 0; --i)
+            bits.push_back((byte >> i) & 1);
+    return bits;
+}
+
+BitString
+textToBits(const std::string &text)
+{
+    return bytesToBits(
+        std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+std::vector<std::uint8_t>
+bitsToBytes(const BitString &bits)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(bits.size() / 8);
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        std::uint8_t byte = 0;
+        for (std::size_t j = 0; j < 8; ++j)
+            byte = static_cast<std::uint8_t>((byte << 1) |
+                                             (bits[i + j] & 1));
+        bytes.push_back(byte);
+    }
+    return bytes;
+}
+
+std::string
+bitsToText(const BitString &bits)
+{
+    std::string out;
+    for (std::uint8_t byte : bitsToBytes(bits))
+        out.push_back(std::isprint(byte) ? static_cast<char>(byte)
+                                         : '?');
+    return out;
+}
+
+std::string
+bitsToString(const BitString &bits)
+{
+    std::string s;
+    s.reserve(bits.size());
+    for (auto b : bits)
+        s.push_back(b ? '1' : '0');
+    return s;
+}
+
+BitString
+bitsFromString(const std::string &s)
+{
+    BitString bits;
+    for (char c : s) {
+        if (c == '0')
+            bits.push_back(0);
+        else if (c == '1')
+            bits.push_back(1);
+    }
+    return bits;
+}
+
+BitString
+symbolsToBits(const std::vector<int> &symbols, int bitsPerSymbol)
+{
+    panic_if(bitsPerSymbol <= 0 || bitsPerSymbol > 16,
+             "unsupported bits per symbol: ", bitsPerSymbol);
+    BitString bits;
+    bits.reserve(symbols.size() * bitsPerSymbol);
+    for (int sym : symbols) {
+        panic_if(sym < 0 || sym >= (1 << bitsPerSymbol),
+                 "symbol ", sym, " does not fit in ", bitsPerSymbol,
+                 " bits");
+        for (int i = bitsPerSymbol - 1; i >= 0; --i)
+            bits.push_back((sym >> i) & 1);
+    }
+    return bits;
+}
+
+std::vector<int>
+bitsToSymbols(const BitString &bits, int bitsPerSymbol)
+{
+    panic_if(bitsPerSymbol <= 0 || bitsPerSymbol > 16,
+             "unsupported bits per symbol: ", bitsPerSymbol);
+    std::vector<int> symbols;
+    const std::size_t step = static_cast<std::size_t>(bitsPerSymbol);
+    for (std::size_t i = 0; i + step <= bits.size(); i += step) {
+        int sym = 0;
+        for (std::size_t j = 0; j < step; ++j)
+            sym = (sym << 1) | (bits[i + j] & 1);
+        symbols.push_back(sym);
+    }
+    return symbols;
+}
+
+} // namespace csim

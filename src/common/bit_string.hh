@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bit-string helpers: conversion between bytes and bit vectors, random
+ * patterns, and rendering — the payload format moved over the covert
+ * channel.
+ */
+
+#ifndef COHERSIM_COMMON_BIT_STRING_HH
+#define COHERSIM_COMMON_BIT_STRING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csim
+{
+
+class Rng;
+
+/** A sequence of bits, most significant bit of each byte first. */
+using BitString = std::vector<std::uint8_t>;
+
+/** Generate a random bit pattern of the given length. */
+BitString randomBits(Rng &rng, std::size_t n);
+
+/** Expand bytes into their bit representation (MSB first). */
+BitString bytesToBits(const std::vector<std::uint8_t> &bytes);
+
+/** Expand a text string into bits (MSB first per character). */
+BitString textToBits(const std::string &text);
+
+/**
+ * Pack bits back into bytes (MSB first); trailing bits that do not
+ * fill a whole byte are dropped.
+ */
+std::vector<std::uint8_t> bitsToBytes(const BitString &bits);
+
+/** Decode bits into text; unprintable bytes become '?'. */
+std::string bitsToText(const BitString &bits);
+
+/** Render as a "0101..." string. */
+std::string bitsToString(const BitString &bits);
+
+/** Parse a "0101..." string; non-0/1 characters are skipped. */
+BitString bitsFromString(const std::string &s);
+
+/**
+ * Pack a vector of k-bit symbols into a bit string (MSB of each symbol
+ * first). Symbols must fit in bitsPerSymbol bits.
+ */
+BitString symbolsToBits(const std::vector<int> &symbols,
+                        int bitsPerSymbol);
+
+/** Split a bit string into k-bit symbols; trailing bits are dropped. */
+std::vector<int> bitsToSymbols(const BitString &bits, int bitsPerSymbol);
+
+} // namespace csim
+
+#endif // COHERSIM_COMMON_BIT_STRING_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Levenshtein edit distance between bit strings.
+ *
+ * The paper's raw-bit accuracy accounts for three reception error
+ * modes: lost bits, duplicated bits and flipped bits (§VIII-B). Edit
+ * distance with unit insert/delete/substitute costs captures exactly
+ * these, so raw accuracy = 1 - distance / transmitted length.
+ */
+
+#ifndef COHERSIM_COMMON_EDIT_DISTANCE_HH
+#define COHERSIM_COMMON_EDIT_DISTANCE_HH
+
+#include <cstddef>
+
+#include "common/bit_string.hh"
+
+namespace csim
+{
+
+/** Unit-cost Levenshtein distance between two bit strings. */
+std::size_t editDistance(const BitString &a, const BitString &b);
+
+/**
+ * Raw bit accuracy as defined in the paper: the fraction of
+ * transmitted raw bits correctly recovered by the spy.
+ *
+ * @param sent bits the trojan transmitted.
+ * @param received bits the spy decoded.
+ * @return value in [0, 1]; 1 when received == sent.
+ */
+double rawBitAccuracy(const BitString &sent, const BitString &received);
+
+} // namespace csim
+
+#endif // COHERSIM_COMMON_EDIT_DISTANCE_HH

@@ -1,0 +1,47 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace csim
+{
+namespace logging_detail
+{
+
+bool quiet = false;
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    // Throw instead of abort() so gtest death-free tests can verify
+    // invariant checks fire; uncaught it still terminates the process.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace logging_detail
+} // namespace csim

@@ -1,0 +1,171 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+void
+SampleSet::add(double v)
+{
+    samples_.push_back(v);
+    sortedValid_ = false;
+}
+
+void
+SampleSet::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return sum / samples_.size();
+}
+
+double
+SampleSet::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSet::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!sortedValid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+    }
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    panic_if(p < 0.0 || p > 100.0, "percentile out of range: ", p);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (p <= 0.0)
+        return sorted_.front();
+    // Nearest-rank definition.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * sorted_.size()));
+    return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+std::vector<std::pair<double, double>>
+SampleSet::cdf(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || points == 0)
+        return out;
+    ensureSorted();
+    out.reserve(points);
+    const double lo = sorted_.front();
+    const double hi = sorted_.back();
+    const double step = points > 1 ? (hi - lo) / (points - 1) : 0.0;
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + step * i;
+        const auto it =
+            std::upper_bound(sorted_.begin(), sorted_.end(), x);
+        const double frac = static_cast<double>(it - sorted_.begin()) /
+                            sorted_.size();
+        out.emplace_back(x, frac);
+    }
+    return out;
+}
+
+double
+SampleSet::fractionWithin(double lo, double hi) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (double v : samples_)
+        if (v >= lo && v <= hi)
+            ++n;
+    return static_cast<double>(n) / samples_.size();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    panic_if(buckets == 0, "Histogram needs at least one bucket");
+    panic_if(hi <= lo, "Histogram range is empty: [", lo, ", ", hi, ")");
+}
+
+void
+Histogram::add(double v)
+{
+    const double width = (hi_ - lo_) / counts_.size();
+    auto idx = static_cast<std::int64_t>((v - lo_) / width);
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(
+                                       counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / counts_.size();
+    return lo_ + width * i;
+}
+
+std::string
+Histogram::sparkline() const
+{
+    static const char levels[] = " .:-=+*#%@";
+    std::uint64_t peak = 0;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    out.reserve(counts_.size());
+    for (auto c : counts_) {
+        if (peak == 0) {
+            out.push_back(' ');
+        } else {
+            const std::size_t lvl = (c * 9 + peak - 1) / peak;
+            out.push_back(levels[std::min<std::size_t>(lvl, 9)]);
+        }
+    }
+    return out;
+}
+
+} // namespace csim

@@ -1,0 +1,73 @@
+#include "common/table_printer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace csim
+{
+
+void
+TablePrinter::header(std::initializer_list<std::string> cells)
+{
+    header_.assign(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::pct(double frac, int precision)
+{
+    return num(frac * 100.0, precision) + "%";
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string();
+            os << " " << cell
+               << std::string(widths[i] - cell.size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << "|";
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << "|";
+        os << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    os.flush();
+}
+
+} // namespace csim

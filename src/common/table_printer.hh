@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned console tables for the benchmark harnesses that regenerate
+ * the paper's tables and figure series.
+ */
+
+#ifndef COHERSIM_COMMON_TABLE_PRINTER_HH
+#define COHERSIM_COMMON_TABLE_PRINTER_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace csim
+{
+
+/**
+ * Accumulates rows of string cells and prints them with columns padded
+ * to the widest cell, in a GitHub-markdown-ish layout that is easy to
+ * diff against the paper's tables.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void header(std::initializer_list<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 1);
+
+    /** Format a percentage (0..1 input) like "97.3%". */
+    static std::string pct(double frac, int precision = 1);
+
+    /** Print the accumulated table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_COMMON_TABLE_PRINTER_HH

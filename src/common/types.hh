@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental scalar types used across the CoherSim libraries.
+ */
+
+#ifndef COHERSIM_COMMON_TYPES_HH
+#define COHERSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace csim
+{
+
+/** Simulated time, in CPU cycles of the reference clock. */
+using Tick = std::uint64_t;
+
+/** Virtual address within a simulated process. */
+using VAddr = std::uint64_t;
+
+/** Physical address in the simulated machine. */
+using PAddr = std::uint64_t;
+
+/** Core index, globally unique across sockets. */
+using CoreId = int;
+
+/** Socket (processor package) index. */
+using SocketId = int;
+
+/** Simulated-thread identifier. */
+using ThreadId = int;
+
+/** Simulated-process identifier. */
+using ProcessId = int;
+
+/** Sentinel for "no tick". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel core/socket/thread ids. */
+inline constexpr CoreId invalidCore = -1;
+inline constexpr SocketId invalidSocket = -1;
+inline constexpr ThreadId invalidThread = -1;
+
+/** Cache line size used throughout the simulated machine, in bytes. */
+inline constexpr unsigned lineBytes = 64;
+
+/** Page size used by the simulated OS, in bytes. */
+inline constexpr unsigned pageBytes = 4096;
+
+/** Align an address down to its cache-line base. */
+constexpr PAddr
+lineAlign(PAddr addr)
+{
+    return addr & ~static_cast<PAddr>(lineBytes - 1);
+}
+
+/** Align an address down to its page base. */
+constexpr PAddr
+pageAlign(PAddr addr)
+{
+    return addr & ~static_cast<PAddr>(pageBytes - 1);
+}
+
+/** Offset of an address within its page. */
+constexpr unsigned
+pageOffset(PAddr addr)
+{
+    return static_cast<unsigned>(addr & (pageBytes - 1));
+}
+
+} // namespace csim
+
+#endif // COHERSIM_COMMON_TYPES_HH

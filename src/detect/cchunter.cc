@@ -1,0 +1,145 @@
+#include "detect/cchunter.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+CoherenceChannelDetector::CoherenceChannelDetector(
+    DetectorParams params)
+    : params_(params)
+{
+    fatal_if(params_.minFlushes < 4,
+             "detector needs a minimum train of >= 4 flushes");
+    fatal_if(params_.historyCap < 8,
+             "detector history must hold >= 8 intervals");
+}
+
+void
+CoherenceChannelDetector::attach(MemorySystem &mem)
+{
+    mem.eventHook = [this](const MemEvent &ev) { observe(ev); };
+}
+
+double
+CoherenceChannelDetector::intervalCv(const LineState &state)
+{
+    const auto &xs = state.intervals;
+    if (xs.size() < 4)
+        return 1e9;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    const double mean = sum / static_cast<double>(xs.size());
+    if (mean <= 0.0)
+        return 1e9;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mean) * (x - mean);
+    const double sd =
+        std::sqrt(acc / static_cast<double>(xs.size()));
+    return sd / mean;
+}
+
+void
+CoherenceChannelDetector::observe(const MemEvent &ev)
+{
+    ++events_;
+    if (ev.type != MemEvent::Type::flush) {
+        // Accesses between two flushes by a *different* core feed
+        // the alternation score — only track lines already being
+        // flushed (bounded state).
+        const auto it = lines_.find(ev.line);
+        if (it != lines_.end() &&
+            ev.core != it->second.lastFlusher) {
+            it->second.otherCoreTouched = true;
+        }
+        return;
+    }
+
+    LineState &state = lines_[ev.line];
+    if (state.lastFlushAt != 0) {
+        const Tick gap = ev.when - state.lastFlushAt;
+        if (gap > params_.maxGap) {
+            // A pause ends the train; restart measurement.
+            state.flushes = 0;
+            state.alternations = 0;
+            state.intervals.clear();
+            state.intervalPos = 0;
+        } else {
+            if (state.intervals.size() < params_.historyCap) {
+                state.intervals.push_back(
+                    static_cast<double>(gap));
+            } else {
+                state.intervals[state.intervalPos] =
+                    static_cast<double>(gap);
+                state.intervalPos = (state.intervalPos + 1) %
+                                    params_.historyCap;
+            }
+            if (state.otherCoreTouched)
+                ++state.alternations;
+        }
+    }
+    state.lastFlushAt = ev.when;
+    state.lastFlusher = ev.core;
+    state.otherCoreTouched = false;
+    ++state.flushes;
+    evaluate(state, ev.line, ev.when);
+}
+
+void
+CoherenceChannelDetector::evaluate(LineState &state, PAddr line,
+                                   Tick when)
+{
+    (void)line;
+    if (state.suspicious || state.flushes < params_.minFlushes)
+        return;
+    const double cv = intervalCv(state);
+    const double alternation =
+        state.flushes > 1
+            ? static_cast<double>(state.alternations) /
+                  static_cast<double>(state.flushes - 1)
+            : 0.0;
+    if (cv <= params_.maxIntervalCv &&
+        alternation >= params_.minAlternation) {
+        state.suspicious = true;
+        state.flaggedAt = when;
+        ++flagged_;
+    }
+}
+
+std::vector<LineVerdict>
+CoherenceChannelDetector::suspiciousLines() const
+{
+    std::vector<LineVerdict> out;
+    for (const auto &[line, state] : lines_) {
+        if (state.suspicious)
+            out.push_back(verdict(line));
+    }
+    return out;
+}
+
+LineVerdict
+CoherenceChannelDetector::verdict(PAddr line) const
+{
+    LineVerdict v;
+    v.line = line;
+    const auto it = lines_.find(line);
+    if (it == lines_.end())
+        return v;
+    const LineState &state = it->second;
+    v.suspicious = state.suspicious;
+    v.flushes = state.flushes;
+    v.intervalCv = intervalCv(state);
+    v.alternation =
+        state.flushes > 1
+            ? static_cast<double>(state.alternations) /
+                  static_cast<double>(state.flushes - 1)
+            : 0.0;
+    v.flaggedAt = state.flaggedAt;
+    return v;
+}
+
+} // namespace csim

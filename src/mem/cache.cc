@@ -1,0 +1,140 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+const char *
+mesiName(Mesi m)
+{
+    switch (m) {
+      case Mesi::invalid: return "I";
+      case Mesi::shared: return "S";
+      case Mesi::exclusive: return "E";
+      case Mesi::modified: return "M";
+      case Mesi::owned: return "O";
+      case Mesi::forward: return "F";
+    }
+    return "?";
+}
+
+Cache::Cache(std::string name, const CacheGeometry &geom)
+    : name_(std::move(name)),
+      numSets_(geom.numSets()),
+      assoc_(geom.assoc),
+      lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc)
+{
+    panic_if(numSets_ == 0, name_, ": zero sets");
+}
+
+CacheLine *
+Cache::setBegin(unsigned set)
+{
+    return &lines_[static_cast<std::size_t>(set) * assoc_];
+}
+
+const CacheLine *
+Cache::setBegin(unsigned set) const
+{
+    return &lines_[static_cast<std::size_t>(set) * assoc_];
+}
+
+CacheLine *
+Cache::find(PAddr line_addr)
+{
+    panic_if(line_addr != lineAlign(line_addr),
+             name_, ": unaligned line address");
+    CacheLine *set = setBegin(setIndex(line_addr));
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid() && set[w].addr == line_addr)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::find(PAddr line_addr) const
+{
+    return const_cast<Cache *>(this)->find(line_addr);
+}
+
+void
+Cache::touch(CacheLine &line)
+{
+    line.lastUse = ++useCounter_;
+}
+
+CacheLine &
+Cache::insert(PAddr line_addr, Mesi state, Victim *victim)
+{
+    panic_if(state == Mesi::invalid,
+             name_, ": inserting an invalid line");
+    panic_if(find(line_addr),
+             name_, ": inserting line already present: ", line_addr);
+    CacheLine *set = setBegin(setIndex(line_addr));
+    CacheLine *slot = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!set[w].valid()) {
+            slot = &set[w];
+            break;
+        }
+    }
+    if (!slot) {
+        // Evict the least recently used way.
+        slot = &set[0];
+        for (unsigned w = 1; w < assoc_; ++w) {
+            if (set[w].lastUse < slot->lastUse)
+                slot = &set[w];
+        }
+        if (victim) {
+            victim->valid = true;
+            victim->line = *slot;
+        }
+    }
+    *slot = CacheLine{};
+    slot->addr = line_addr;
+    slot->state = state;
+    touch(*slot);
+    return *slot;
+}
+
+bool
+Cache::invalidate(PAddr line_addr)
+{
+    if (CacheLine *line = find(line_addr)) {
+        *line = CacheLine{};
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::clear()
+{
+    for (auto &line : lines_)
+        line = CacheLine{};
+}
+
+void
+Cache::forEachLine(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const auto &line : lines_) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+std::size_t
+Cache::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace csim

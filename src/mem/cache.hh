@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A set-associative write-back cache with per-line MESI state and LRU
+ * replacement. Used for private L1/L2 caches and, with the directory
+ * extension fields, for the shared inclusive LLC.
+ */
+
+#ifndef COHERSIM_MEM_CACHE_HH
+#define COHERSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/params.hh"
+
+namespace csim
+{
+
+/**
+ * Coherence states. The core protocol is MESI (paper §II-B); the
+ * owned (MOESI, AMD) and forward (MESIF, Intel) states are the
+ * performance-optimizing extensions the paper's §II-B describes,
+ * available through SystemConfig::flavor.
+ */
+enum class Mesi : std::uint8_t
+{
+    invalid,
+    shared,
+    exclusive,
+    modified,
+    owned,    //!< MOESI: dirty but shared; this cache services reads
+    forward,  //!< MESIF: clean shared copy designated to forward
+};
+
+/** Printable name for a MESI state. */
+const char *mesiName(Mesi m);
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    PAddr addr = 0;           //!< line-aligned physical address
+    Mesi state = Mesi::invalid;
+    std::uint64_t lastUse = 0; //!< LRU timestamp
+
+    /**
+     * @name LLC directory extension (unused in private caches)
+     * @{
+     */
+    /** Core-valid bit vector: which private caches hold the line. */
+    std::uint32_t coreValid = 0;
+    /** LLC data newer than DRAM (needs writeback on eviction). */
+    bool dirty = false;
+    /**
+     * Set when the LLC has been notified of an E->M upgrade
+     * (mitigation mode, paper §VIII-E technique 3).
+     */
+    bool ownerModified = false;
+    /**
+     * Completion time of the fill that installed this line. A
+     * request arriving earlier coalesces with the in-flight fill
+     * (MSHR behaviour) and observes the remaining fill latency
+     * instead of a crisp hit.
+     */
+    Tick fillReadyAt = 0;
+    /** @} */
+
+    bool valid() const { return state != Mesi::invalid; }
+};
+
+/** Description of a line displaced by an insertion. */
+struct Victim
+{
+    bool valid = false;
+    CacheLine line;  //!< copy of the displaced line's bookkeeping
+};
+
+/**
+ * Set-associative cache structure. Pure bookkeeping: latency and
+ * coherence transitions live in MemorySystem.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheGeometry &geom);
+
+    /** Find a valid line; nullptr on miss. Does not touch LRU. */
+    CacheLine *find(PAddr line_addr);
+    const CacheLine *find(PAddr line_addr) const;
+
+    /** Mark a line most recently used. */
+    void touch(CacheLine &line);
+
+    /**
+     * Insert a line (must not already be present), displacing the LRU
+     * way if the set is full.
+     *
+     * @param line_addr line-aligned address to insert.
+     * @param state initial MESI state.
+     * @param victim receives the displaced line, if any.
+     * @return reference to the inserted line.
+     */
+    CacheLine &insert(PAddr line_addr, Mesi state, Victim *victim);
+
+    /** Drop a line if present. @return true if it was present. */
+    bool invalidate(PAddr line_addr);
+
+    /** Invalidate every line (used by tests). */
+    void clear();
+
+    /** Apply @p fn to every valid line. */
+    void forEachLine(const std::function<void(const CacheLine &)> &fn)
+        const;
+
+    /** Number of valid lines currently held. */
+    std::size_t occupancy() const;
+
+    const std::string &name() const { return name_; }
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Set index a line address maps to (modulo; supports the
+     *  non-power-of-two set counts of real LLCs, e.g. 12288). */
+    unsigned
+    setIndex(PAddr line_addr) const
+    {
+        return static_cast<unsigned>((line_addr / lineBytes) %
+                                     numSets_);
+    }
+
+  private:
+    std::string name_;
+    unsigned numSets_;
+    unsigned assoc_;
+    std::vector<CacheLine> lines_;  //!< numSets * assoc, set-major
+    std::uint64_t useCounter_ = 0;
+
+    CacheLine *setBegin(unsigned set);
+    const CacheLine *setBegin(unsigned set) const;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_MEM_CACHE_HH

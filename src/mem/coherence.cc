@@ -1,0 +1,682 @@
+/**
+ * @file
+ * MESI directory protocol transitions (the logic of paper §VI).
+ *
+ * Part of MemorySystem; structural helpers and invariant checking
+ * live in memory_system.cc.
+ */
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "mem/memory_system.hh"
+
+namespace csim
+{
+
+namespace
+{
+
+/** States whose holder must service reads (data or designation). */
+bool
+mustForward(Mesi s)
+{
+    return s == Mesi::exclusive || s == Mesi::modified ||
+           s == Mesi::owned;
+}
+
+/** States holding data newer than the LLC/DRAM copy. */
+bool
+isDirtyState(Mesi s)
+{
+    return s == Mesi::modified || s == Mesi::owned;
+}
+
+} // namespace
+
+AccessResult
+MemorySystem::load(CoreId core, PAddr addr, Tick when)
+{
+    ++stats_.loads;
+    const bool traced = traceLine && lineAlign(addr) == traceLine;
+    const PAddr line = lineAlign(addr);
+    const auto idx = static_cast<std::size_t>(core);
+    const TimingParams &t = config_.timing;
+
+    if (CacheLine *l = l1s_[idx]->find(line)) {
+        l1s_[idx]->touch(*l);
+        ++stats_.l1Hits;
+        if (traced)
+            inform("TRACE load  c", core, " @", when, " -> L1 hit");
+        return {t.l1Hit + jitter(), ServedBy::l1};
+    }
+    if (CacheLine *l = l2s_[idx]->find(line)) {
+        l2s_[idx]->touch(*l);
+        // Refill L1; its victim is silently dropped (still in L2).
+        Victim v1;
+        l1s_[idx]->insert(line, l->state, &v1);
+        ++stats_.l2Hits;
+        if (traced)
+            inform("TRACE load  c", core, " @", when, " -> L2 hit");
+        return {t.l2Hit + jitter(), ServedBy::l2};
+    }
+
+    // Private miss: consult the local LLC and its directory.
+    const SocketId socket = socketOf(core);
+    auto &sk = sockets_[static_cast<std::size_t>(socket)];
+    // Every private miss enters the socket's uncore global queue,
+    // which also carries all DRAM-bound traffic: heavy memory noise
+    // slows even LLC-hit service (shared ring/GQ coupling).
+    pathUtil_ = t.uncoreCoupling * dram_.utilAt(when,
+                                                t.contentionTau);
+    const Tick wait = occupy(sk.llcPort, when, t.llcPortBusy);
+
+    ServedBy served = ServedBy::none;
+    Tick lat = serveLocal(core, line, when, served);
+    if (lat == maxTick) {
+        const std::uint32_t remotes =
+            socketPresence(line) & ~(1u << socket);
+        if (remotes) {
+            const SocketId remote = std::countr_zero(remotes);
+            lat = serveRemote(core, remote, line, when, served);
+        } else {
+            lat = serveDram(core, line, when, served);
+        }
+    }
+    double path_util = pathUtil_;
+    if (served == ServedBy::localOwner ||
+        served == ServedBy::remoteOwner) {
+        path_util *= t.exclPathContention;
+    }
+    const AccessResult res{
+        wait + lat + contentionDelay(path_util) + jitter(), served};
+    if (eventHook)
+        eventHook(MemEvent{MemEvent::Type::load, core, line, when,
+                           res.servedBy});
+    if (traced) {
+        inform("TRACE load  c", core, " @", when, " -> ",
+               servedByName(res.servedBy), " lat=", res.latency);
+    }
+    return res;
+}
+
+Tick
+MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
+                         ServedBy &served)
+{
+    const SocketId socket = socketOf(core);
+    auto &llc = *sockets_[static_cast<std::size_t>(socket)].llc;
+    CacheLine *L = llc.find(line);
+    const std::uint32_t others = residencyBits(socket, line);
+    if (!L && (config_.llcInclusive || others == 0))
+        return maxTick;
+
+    const TimingParams &t = config_.timing;
+    panic_if(others & coreBit(core),
+             "core ", core, " missed privately on line ", line,
+             " but its residency bit is set");
+    const int sharers = std::popcount(others);
+    // A fill for this line may still be in flight: the request
+    // coalesces and waits for the data to arrive first.
+    const Tick fill_wait =
+        (L && L->fillReadyAt > when) ? L->fillReadyAt - when : 0;
+
+    Tick lat;
+    Mesi fill_state = Mesi::shared;
+    bool forwarded_from_excl = false;
+    const CoreId dirty_owner = dirtySharerOf(socket, others, line);
+    if (sharers == 1) {
+        const CoreId owner = coreFromBit(socket, others);
+        const Mesi ost = privateState(owner, line);
+        panic_if(ost == Mesi::invalid,
+                 "directory claims core ", owner, " holds line ",
+                 line, " but its private caches miss");
+        const bool llcCanServe =
+            t.llcNotifiedOfUpgrade && ost == Mesi::exclusive && L &&
+            !L->ownerModified;
+        if (mustForward(ost) && !llcCanServe) {
+            // The owner's copy may be newer than the LLC: forward to
+            // the owner, which replies (paper §VI-A). Under MESI the
+            // owner downgrades to S and dirty data is written back;
+            // under MOESI a modified owner transitions to O, keeps
+            // the dirty line and skips the writeback (paper §II-B).
+            if (ost == Mesi::modified &&
+                config_.flavor == CoherenceFlavor::moesi) {
+                setPrivateState(owner, line, Mesi::owned);
+            } else {
+                if (isDirtyState(ost)) {
+                    // Write back into the LLC when it caches the
+                    // line; with a non-inclusive LLC data miss the
+                    // dirty data goes to memory.
+                    if (L)
+                        L->dirty = true;
+                    else
+                        occupy(dram_, when, t.dramBusy);
+                    ++stats_.writebacks;
+                }
+                if (ost != Mesi::owned)
+                    forwarded_from_excl = true;
+                setPrivateState(owner, line,
+                                ost == Mesi::owned ? Mesi::owned
+                                                   : Mesi::shared);
+            }
+            if (L)
+                L->ownerModified = false;
+            served = ServedBy::localOwner;
+            ++stats_.localOwnerForwards;
+            lat = t.localExclLat();
+        } else if (L) {
+            // Mitigated E (known clean) or S owner: LLC serves.
+            if (ost == Mesi::exclusive)
+                setPrivateState(owner, line, Mesi::shared);
+            served = ServedBy::localLlc;
+            ++stats_.localLlcServes;
+            lat = t.localSharedLat();
+        } else {
+            // Non-inclusive LLC data miss with a clean sharer:
+            // cache-to-cache supply (rare; paper §VIII-E).
+            served = ServedBy::localOwner;
+            ++stats_.localOwnerForwards;
+            lat = t.localExclLat();
+        }
+    } else if (dirty_owner != invalidCore) {
+        // MOESI: an O-state owner among the sharers holds data newer
+        // than the LLC and services the read itself.
+        served = ServedBy::localOwner;
+        ++stats_.localOwnerForwards;
+        lat = t.localExclLat();
+    } else if (L) {
+        // Zero or >=2 (clean) sharers: the LLC holds a clean copy
+        // and can directly service the miss (paper §VI-A).
+        served = ServedBy::localLlc;
+        ++stats_.localLlcServes;
+        lat = t.localSharedLat();
+    } else {
+        // Non-inclusive: clean sharers exist but the LLC dropped the
+        // data; a sharer supplies it (paper §VIII-E: "absence of
+        // S-state blocks in LLC should be rare").
+        served = ServedBy::localOwner;
+        ++stats_.localOwnerForwards;
+        lat = t.localExclLat();
+    }
+
+    addResidency(socket, line, core);
+    if (L)
+        llc.touch(*L);
+    const bool shared_now =
+        std::popcount(residencyBits(socket, line)) >= 2 ||
+        (socketPresence(line) & ~(1u << socket));
+    if (!shared_now) {
+        fill_state = Mesi::exclusive;
+    } else if (config_.flavor == CoherenceFlavor::mesif &&
+               forwarded_from_excl) {
+        // MESIF: the newest clean sharer is designated forwarder.
+        clearForwarder(line);
+        fill_state = Mesi::forward;
+    }
+    fillPrivate(core, line, fill_state, when);
+    if (config_.lookup == CoherenceLookup::snoop)
+        lat += t.snoopOverhead;
+    return fill_wait + lat;
+}
+
+Tick
+MemorySystem::serveRemote(CoreId core, SocketId remote, PAddr line,
+                          Tick when, ServedBy &served)
+{
+    const SocketId socket = socketOf(core);
+    const TimingParams &t = config_.timing;
+    auto &rsk = sockets_[static_cast<std::size_t>(remote)];
+
+    Tick wait = occupy(qpi_, when, t.qpiBusy);
+    wait += occupy(rsk.llcPort, when, t.llcPortBusy);
+
+    CacheLine *R = rsk.llc->find(line);
+    const std::uint32_t r_bits = residencyBits(remote, line);
+    panic_if(!R && (config_.llcInclusive || r_bits == 0),
+             "global directory claims socket ", remote,
+             " holds line ", line, " but nothing does");
+    const Tick fill_wait =
+        (R && R->fillReadyAt > when) ? R->fillReadyAt - when : 0;
+
+    Tick lat;
+    const int sharers = std::popcount(r_bits);
+    const CoreId remote_dirty = dirtySharerOf(remote, r_bits, line);
+    if (sharers == 1) {
+        const CoreId owner = coreFromBit(remote, r_bits);
+        const Mesi ost = privateState(owner, line);
+        panic_if(ost == Mesi::invalid,
+                 "remote directory claims core ", owner,
+                 " holds line ", line, " but it does not");
+        const bool llcCanServe =
+            t.llcNotifiedOfUpgrade && ost == Mesi::exclusive && R &&
+            !R->ownerModified;
+        if (mustForward(ost) && !llcCanServe) {
+            // Remote LLC routes the request up to the owner core,
+            // which replies (paper §VI-B). MESI: downgrade to S and
+            // write back; MOESI: M becomes O, no writeback.
+            if (ost == Mesi::modified &&
+                config_.flavor == CoherenceFlavor::moesi) {
+                setPrivateState(owner, line, Mesi::owned);
+            } else {
+                if (isDirtyState(ost)) {
+                    if (R)
+                        R->dirty = true;
+                    else
+                        occupy(dram_, when, t.dramBusy);
+                    ++stats_.writebacks;
+                }
+                setPrivateState(owner, line,
+                                ost == Mesi::owned ? Mesi::owned
+                                                   : Mesi::shared);
+            }
+            if (R)
+                R->ownerModified = false;
+            served = ServedBy::remoteOwner;
+            ++stats_.remoteOwnerForwards;
+            lat = t.remoteExclLat();
+        } else if (R) {
+            if (ost == Mesi::exclusive)
+                setPrivateState(owner, line, Mesi::shared);
+            served = ServedBy::remoteLlc;
+            ++stats_.remoteLlcServes;
+            lat = t.remoteSharedLat();
+        } else {
+            served = ServedBy::remoteOwner;
+            ++stats_.remoteOwnerForwards;
+            lat = t.remoteExclLat();
+        }
+    } else if (remote_dirty != invalidCore) {
+        // MOESI: the remote O owner services the read.
+        served = ServedBy::remoteOwner;
+        ++stats_.remoteOwnerForwards;
+        lat = t.remoteExclLat();
+    } else if (R) {
+        served = ServedBy::remoteLlc;
+        ++stats_.remoteLlcServes;
+        lat = t.remoteSharedLat();
+    } else {
+        // Non-inclusive remote data miss: a remote sharer supplies.
+        served = ServedBy::remoteOwner;
+        ++stats_.remoteOwnerForwards;
+        lat = t.remoteExclLat();
+    }
+    if (R)
+        rsk.llc->touch(*R);
+
+    // Install the line in the requesting socket; both sockets now
+    // share it, so every private copy is S. The local copy is in
+    // flight until the reply arrives.
+    CacheLine &L = installLlc(socket, line, when);
+    L.coreValid = config_.llcInclusive ? coreBit(core) : 0;
+    L.dirty = false;
+    L.fillReadyAt = when + fill_wait + wait + lat;
+    globalDir_[line] |= 1u << socket;
+    if (!config_.llcInclusive)
+        addResidency(socket, line, core);
+    Mesi fill_state = Mesi::shared;
+    if (config_.flavor == CoherenceFlavor::mesif) {
+        // MESIF: the newest requester holds the line in F state and
+        // will forward it on later cross-socket requests.
+        clearForwarder(line);
+        fill_state = Mesi::forward;
+    }
+    fillPrivate(core, line, fill_state, when);
+    Tick snoop_extra = config_.lookup == CoherenceLookup::snoop
+                           ? t.snoopOverhead
+                           : 0;
+    return fill_wait + wait + lat + snoop_extra;
+}
+
+Tick
+MemorySystem::serveDram(CoreId core, PAddr line, Tick when,
+                        ServedBy &served)
+{
+    const SocketId socket = socketOf(core);
+    const TimingParams &t = config_.timing;
+    Tick wait = occupy(dram_, when, t.dramBusy);
+    Tick numa_extra = 0;
+    if (t.numaInterleave && config_.sockets > 1) {
+        // Line-interleaved NUMA homing: fetching a line homed on the
+        // other socket traverses the inter-socket link.
+        const SocketId home = static_cast<SocketId>(
+            (line / lineBytes) % config_.sockets);
+        if (home != socket) {
+            wait += occupy(qpi_, when, t.qpiBusy);
+            numa_extra = t.numaRemoteExtra;
+        }
+    }
+
+    CacheLine &L = installLlc(socket, line, when);
+    L.coreValid = config_.llcInclusive ? coreBit(core) : 0;
+    L.dirty = false;
+    L.fillReadyAt = when + wait + numa_extra + t.dramLat();
+    globalDir_[line] |= 1u << socket;
+    if (!config_.llcInclusive)
+        addResidency(socket, line, core);
+    // First load anywhere: the requester becomes the exclusive owner.
+    fillPrivate(core, line, Mesi::exclusive, when);
+    served = ServedBy::dram;
+    ++stats_.dramAccesses;
+    return wait + numa_extra + t.dramLat();
+}
+
+AccessResult
+MemorySystem::store(CoreId core, PAddr addr, Tick when)
+{
+    ++stats_.stores;
+    if (eventHook)
+        eventHook(MemEvent{MemEvent::Type::store, core,
+                           lineAlign(addr), when, ServedBy::none});
+    const PAddr line = lineAlign(addr);
+    const auto idx = static_cast<std::size_t>(core);
+    const TimingParams &t = config_.timing;
+    const SocketId socket = socketOf(core);
+    const Mesi st = privateState(core, line);
+
+    if (st == Mesi::modified) {
+        if (CacheLine *l = l1s_[idx]->find(line))
+            l1s_[idx]->touch(*l);
+        return {t.l1Hit + jitter(), ServedBy::l1};
+    }
+
+    if (st == Mesi::owned || st == Mesi::forward ||
+        st == Mesi::shared) {
+        // Upgrade: invalidate every other copy system wide. An O
+        // owner already has the latest data; S/F holders fetch
+        // permission only.
+        ++stats_.upgrades;
+        const bool had_remote = invalidateOthers(core, line, when);
+        setPrivateState(core, line, Mesi::modified);
+        auto &sk = sockets_[static_cast<std::size_t>(socket)];
+        if (CacheLine *L = sk.llc->find(line)) {
+            L->ownerModified = t.llcNotifiedOfUpgrade;
+            sk.llc->touch(*L);
+        }
+        const Tick lat =
+            t.upgradeLat + (had_remote ? t.qpiRoundTrip : 0);
+        return {lat + jitter(), ServedBy::none};
+    }
+
+    if (st == Mesi::exclusive) {
+        // Silent E->M upgrade: no invalidations needed (paper §II-B).
+        setPrivateState(core, line, Mesi::modified);
+        if (t.llcNotifiedOfUpgrade) {
+            // Mitigation: tell the LLC its copy went stale.
+            auto &sk = sockets_[static_cast<std::size_t>(socket)];
+            occupy(sk.llcPort, when, t.llcPortBusy);
+            if (CacheLine *L = sk.llc->find(line))
+                L->ownerModified = true;
+        }
+        return {t.l1Hit + 1 + jitter(), ServedBy::l1};
+    }
+
+    // Write miss: read-for-ownership, then claim M.
+    AccessResult read = load(core, addr, when);
+    --stats_.loads;  // count the RFO as a store, not a load
+    const bool had_remote = invalidateOthers(core, line, when);
+    setPrivateState(core, line, Mesi::modified);
+    auto &sk = sockets_[static_cast<std::size_t>(socket)];
+    if (CacheLine *L = sk.llc->find(line))
+        L->ownerModified = t.llcNotifiedOfUpgrade;
+    read.latency +=
+        t.invalidateLat + (had_remote ? t.qpiRoundTrip : 0);
+    return read;
+}
+
+AccessResult
+MemorySystem::flush(CoreId core, PAddr addr, Tick when)
+{
+    ++stats_.flushes;
+    if (eventHook)
+        eventHook(MemEvent{MemEvent::Type::flush, core,
+                           lineAlign(addr), when, ServedBy::none});
+    const PAddr line = lineAlign(addr);
+    const TimingParams &t = config_.timing;
+
+    bool dirty = false;
+    for (int c = 0; c < config_.numCores(); ++c) {
+        const Mesi st = privateState(c, line);
+        if (isDirtyState(st))
+            dirty = true;
+        if (st != Mesi::invalid)
+            invalidatePrivate(c, line);
+    }
+    for (int s = 0; s < config_.sockets; ++s) {
+        auto &sk = sockets_[static_cast<std::size_t>(s)];
+        if (CacheLine *L = sk.llc->find(line)) {
+            if (L->dirty)
+                dirty = true;
+            sk.llc->invalidate(line);
+        }
+    }
+    if (!config_.llcInclusive) {
+        for (auto &dir : snoopFilter_)
+            dir.erase(line);
+    }
+    globalDir_.erase(line);
+    if (dirty) {
+        occupy(dram_, when, t.dramBusy);
+        ++stats_.writebacks;
+    }
+    const Tick lat =
+        t.flushBase + (dirty ? t.flushDirtyExtra : 0) + jitter();
+    if (traceLine && line == traceLine) {
+        inform("TRACE flush c", core, " @", when,
+               dirty ? " (dirty)" : "");
+    }
+    return {lat, ServedBy::none};
+}
+
+void
+MemorySystem::fillPrivate(CoreId core, PAddr line, Mesi state,
+                          Tick when)
+{
+    const auto idx = static_cast<std::size_t>(core);
+    Victim v2;
+    l2s_[idx]->insert(line, state, &v2);
+    if (v2.valid)
+        handleL2Victim(core, v2.line, when);
+    Victim v1;
+    l1s_[idx]->insert(line, state, &v1);
+    // L1 victims are silently dropped: the line remains in L2.
+}
+
+void
+MemorySystem::setPrivateState(CoreId core, PAddr line, Mesi state)
+{
+    const auto idx = static_cast<std::size_t>(core);
+    CacheLine *l2 = l2s_[idx]->find(line);
+    panic_if(!l2, "setPrivateState: core ", core,
+             " does not hold line ", line);
+    l2->state = state;
+    if (CacheLine *l1 = l1s_[idx]->find(line))
+        l1->state = state;
+}
+
+void
+MemorySystem::invalidatePrivate(CoreId core, PAddr line)
+{
+    const auto idx = static_cast<std::size_t>(core);
+    l1s_[idx]->invalidate(line);
+    l2s_[idx]->invalidate(line);
+}
+
+void
+MemorySystem::writebackToLlc(CoreId core, PAddr line, Tick when)
+{
+    const SocketId socket = socketOf(core);
+    auto &sk = sockets_[static_cast<std::size_t>(socket)];
+    occupy(sk.llcPort, when, config_.timing.llcPortBusy);
+    CacheLine *L = sk.llc->find(line);
+    panic_if(!L, "writeback for line ", line,
+             " absent from its inclusive LLC");
+    L->dirty = true;
+    ++stats_.writebacks;
+}
+
+void
+MemorySystem::handleL2Victim(CoreId core, const CacheLine &victim,
+                             Tick when)
+{
+    // L2 is inclusive of L1: evicting from L2 also drops the L1
+    // copy.
+    l1s_[static_cast<std::size_t>(core)]->invalidate(victim.addr);
+    const SocketId socket = socketOf(core);
+    auto &sk = sockets_[static_cast<std::size_t>(socket)];
+    CacheLine *L = sk.llc->find(victim.addr);
+    panic_if(!L && config_.llcInclusive,
+             "L2 victim line ", victim.addr,
+             " absent from its inclusive LLC");
+    if (isDirtyState(victim.state)) {
+        if (L) {
+            L->dirty = true;
+            occupy(sk.llcPort, when, config_.timing.llcPortBusy);
+        } else {
+            // Non-inclusive LLC without the data: write to memory.
+            occupy(dram_, when, config_.timing.dramBusy);
+        }
+        ++stats_.writebacks;
+    }
+    // The eviction notifies the directory (modelling simplification;
+    // see DESIGN.md): the residency bit is cleared.
+    clearResidency(socket, victim.addr, core);
+}
+
+void
+MemorySystem::handleLlcVictim(SocketId socket, const CacheLine &victim,
+                              Tick when)
+{
+    if (!config_.llcInclusive) {
+        // Non-inclusive LLC: private copies survive the data
+        // eviction; only dirty data is written back and the
+        // socket-presence accounting reconciled.
+        if (victim.dirty) {
+            occupy(dram_, when, config_.timing.dramBusy);
+            ++stats_.writebacks;
+        }
+        reconcilePresence(socket, victim.addr);
+        return;
+    }
+    // Inclusive LLC: displacement back-invalidates every private copy
+    // in this socket.
+    bool dirty = victim.dirty;
+    std::uint32_t bits = victim.coreValid;
+    while (bits) {
+        const std::uint32_t bit = bits & (~bits + 1);
+        bits ^= bit;
+        const CoreId core = coreFromBit(socket, bit);
+        if (isDirtyState(privateState(core, victim.addr)))
+            dirty = true;
+        invalidatePrivate(core, victim.addr);
+        ++stats_.backInvalidations;
+    }
+    if (dirty) {
+        occupy(dram_, when, config_.timing.dramBusy);
+        ++stats_.writebacks;
+    }
+    auto it = globalDir_.find(victim.addr);
+    panic_if(it == globalDir_.end(),
+             "LLC victim line ", victim.addr,
+             " missing from the global directory");
+    it->second &= ~(1u << socket);
+    if (it->second == 0)
+        globalDir_.erase(it);
+}
+
+CoreId
+MemorySystem::dirtySharerOf(SocketId socket, std::uint32_t core_valid,
+                            PAddr line) const
+{
+    if (config_.flavor != CoherenceFlavor::moesi)
+        return invalidCore;
+    std::uint32_t bits = core_valid;
+    while (bits) {
+        const std::uint32_t bit = bits & (~bits + 1);
+        bits ^= bit;
+        const CoreId core = coreFromBit(socket, bit);
+        if (privateState(core, line) == Mesi::owned)
+            return core;
+    }
+    return invalidCore;
+}
+
+void
+MemorySystem::clearForwarder(PAddr line)
+{
+    for (int c = 0; c < config_.numCores(); ++c) {
+        if (privateState(c, line) == Mesi::forward)
+            setPrivateState(c, line, Mesi::shared);
+    }
+}
+
+CacheLine &
+MemorySystem::installLlc(SocketId socket, PAddr line, Tick when)
+{
+    auto &sk = sockets_[static_cast<std::size_t>(socket)];
+    Victim v;
+    CacheLine &L = sk.llc->insert(line, Mesi::shared, &v);
+    if (v.valid)
+        handleLlcVictim(socket, v.line, when);
+    return L;
+}
+
+bool
+MemorySystem::invalidateOthers(CoreId keep_core, PAddr line, Tick when)
+{
+    const SocketId keep_socket = socketOf(keep_core);
+    bool had_remote = false;
+    for (int c = 0; c < config_.numCores(); ++c) {
+        if (c == keep_core)
+            continue;
+        const Mesi st = privateState(c, line);
+        if (st == Mesi::invalid)
+            continue;
+        if (isDirtyState(st)) {
+            // The dirty data moves to the new owner with the RFO
+            // response; account the line as dirty at its LLC so it
+            // is not silently dropped.
+            auto &vsk = sockets_[static_cast<std::size_t>(
+                config_.socketOf(c))];
+            if (CacheLine *V = vsk.llc->find(line))
+                V->dirty = true;
+        }
+        if (config_.socketOf(c) != keep_socket)
+            had_remote = true;
+        invalidatePrivate(c, line);
+        if (!config_.llcInclusive)
+            clearResidency(config_.socketOf(c), line, c);
+    }
+    for (int s = 0; s < config_.sockets; ++s) {
+        auto &sk = sockets_[static_cast<std::size_t>(s)];
+        CacheLine *L = sk.llc->find(line);
+        if (!L)
+            continue;
+        if (s == keep_socket) {
+            if (config_.llcInclusive) {
+                L->coreValid =
+                    privateState(keep_core, line) != Mesi::invalid
+                        ? coreBit(keep_core)
+                        : 0;
+            }
+        } else {
+            had_remote = true;
+            sk.llc->invalidate(line);
+            if (config_.llcInclusive) {
+                auto it = globalDir_.find(line);
+                if (it != globalDir_.end()) {
+                    it->second &= ~(1u << s);
+                    if (it->second == 0)
+                        globalDir_.erase(it);
+                }
+            } else {
+                reconcilePresence(s, line);
+            }
+        }
+    }
+    if (had_remote)
+        occupy(qpi_, when, config_.timing.qpiBusy);
+    return had_remote;
+}
+
+} // namespace csim

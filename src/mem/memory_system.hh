@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The coherent memory hierarchy of the simulated machine.
+ *
+ * Implements the structure the paper attacks (§VI): per-core private
+ * write-back L1/L2 caches kept coherent with a MESI directory
+ * protocol, a shared *inclusive* LLC per socket holding a core-valid
+ * bit vector per line, a QPI-like inter-socket link probed before
+ * DRAM, and a contention/jitter timing model producing the distinct
+ * latency bands of Figure 2.
+ */
+
+#ifndef COHERSIM_MEM_MEMORY_SYSTEM_HH
+#define COHERSIM_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/params.hh"
+#include "sim/memory_backend.hh"
+
+namespace csim
+{
+
+/** One observable memory-system transaction (for detectors). */
+struct MemEvent
+{
+    enum class Type : std::uint8_t
+    {
+        load,
+        store,
+        flush,
+    };
+
+    Type type;
+    CoreId core;       //!< requesting core
+    PAddr line;        //!< line-aligned physical address
+    Tick when;         //!< request time
+    ServedBy servedBy; //!< service source (loads/stores)
+};
+
+/** Aggregate counters exported by the memory system. */
+struct MemStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t localLlcServes = 0;
+    std::uint64_t localOwnerForwards = 0;
+    std::uint64_t remoteLlcServes = 0;
+    std::uint64_t remoteOwnerForwards = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t backInvalidations = 0;
+    std::uint64_t upgrades = 0;
+    Tick queueWaitCycles = 0;
+};
+
+/**
+ * Owns every cache in the machine and implements the coherence
+ * protocol over physical addresses. The OS layer sits on top,
+ * translating virtual addresses.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SystemConfig &config);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /** @name Timed operations (physical addresses) */
+    /** @{ */
+    AccessResult load(CoreId core, PAddr addr, Tick when);
+    AccessResult store(CoreId core, PAddr addr, Tick when);
+    AccessResult flush(CoreId core, PAddr addr, Tick when);
+    /** @} */
+
+    /**
+     * @name Introspection (tests / attack verification)
+     * These do not advance time or disturb state.
+     * @{
+     */
+    /** Combined L1/L2 state of a line in a core's private caches. */
+    Mesi privateState(CoreId core, PAddr addr) const;
+    /** Core-valid bit vector the LLC directory holds for a line. */
+    std::uint32_t llcCoreValid(SocketId socket, PAddr addr) const;
+    /** Whether a socket's LLC holds the line. */
+    bool llcHas(SocketId socket, PAddr addr) const;
+    /** Sockets whose hierarchy holds the line (global directory). */
+    std::uint32_t socketPresence(PAddr addr) const;
+    /**
+     * Verify every coherence invariant (single E/M owner, inclusion,
+     * directory consistency). @return empty string if consistent,
+     * otherwise a description of the first violation.
+     */
+    std::string checkInvariants() const;
+    /** @} */
+
+    const SystemConfig &config() const { return config_; }
+    const MemStats &stats() const { return stats_; }
+
+    /**
+     * Debug aid: when set to a line address, every operation touching
+     * that line is printed with its timestamp, core and outcome.
+     */
+    PAddr traceLine = 0;
+
+    /**
+     * Observation hook for hardware-level detectors (e.g. the
+     * CC-Hunter-style covert-channel detector in src/detect): called
+     * once per load/store/flush. Unset by default; keep the callback
+     * cheap, it runs on every memory operation.
+     */
+    std::function<void(const MemEvent &)> eventHook;
+
+    /** Deterministic jitter source; exposed for the OS layer. */
+    Rng &rng() { return rng_; }
+
+  private:
+    /**
+     * A serially reusable resource (LLC port, QPI link, DRAM
+     * channel) with an exponentially decayed utilization estimate.
+     */
+    struct Resource
+    {
+        Tick busyUntil = 0;
+        Tick lastNoteAt = 0;
+        double util = 0.0;
+
+        /** Utilization estimate at @p now, in [0, ~1.5]. */
+        double utilAt(Tick now, double tau) const;
+    };
+
+    /** Per-socket shared structures. */
+    struct Socket
+    {
+        std::unique_ptr<Cache> llc;
+        Resource llcPort;
+    };
+
+    /** @name Topology helpers */
+    /** @{ */
+    SocketId socketOf(CoreId core) const
+    {
+        return config_.socketOf(core);
+    }
+    /** Bit for @p core within its socket's core-valid vector. */
+    std::uint32_t
+    coreBit(CoreId core) const
+    {
+        return 1u << (core % config_.coresPerSocket);
+    }
+    CoreId
+    coreFromBit(SocketId socket, std::uint32_t bits) const;
+    /** @} */
+
+    /** @name Protocol actions (coherence.cc) */
+    /** @{ */
+    /**
+     * Service a read request at the local socket's LLC/directory.
+     * Fills @p served and returns the base path latency, or returns
+     * maxTick when the local LLC misses.
+     */
+    Tick serveLocal(CoreId core, PAddr addr, Tick when,
+                    ServedBy &served);
+    /** Service a read that missed locally from a remote socket. */
+    Tick serveRemote(CoreId core, SocketId remote, PAddr addr,
+                     Tick when, ServedBy &served);
+    /** Service a read from DRAM and install the line. */
+    Tick serveDram(CoreId core, PAddr addr, Tick when,
+                   ServedBy &served);
+
+    /** Fill a line into a core's L1+L2 in @p state. */
+    void fillPrivate(CoreId core, PAddr addr, Mesi state, Tick when);
+    /** Install a line into a socket's LLC, handling the victim. */
+    CacheLine &installLlc(SocketId socket, PAddr addr, Tick when);
+    /** Remove a line from one core's private caches. */
+    void invalidatePrivate(CoreId core, PAddr addr);
+    /** Write a core's modified data back into its socket's LLC. */
+    void writebackToLlc(CoreId core, PAddr addr, Tick when);
+    /** Set the private-cache state of a line in both L1 and L2. */
+    void setPrivateState(CoreId core, PAddr addr, Mesi state);
+    /** Evict handling for a displaced private L2 line. */
+    void handleL2Victim(CoreId core, const CacheLine &victim,
+                        Tick when);
+    /** Evict handling for a displaced LLC line (back-invalidation). */
+    void handleLlcVictim(SocketId socket, const CacheLine &victim,
+                         Tick when);
+    /**
+     * Invalidate every copy of a line except @p keep_core's.
+     * @return true if remote-socket copies had to be invalidated.
+     */
+    bool invalidateOthers(CoreId keep_core, PAddr addr, Tick when);
+    /** The O-state holder among a socket's sharers (MOESI only). */
+    CoreId dirtySharerOf(SocketId socket, std::uint32_t core_valid,
+                         PAddr line) const;
+    /**
+     * @name Residency tracking
+     * Which cores of a socket hold a line privately. Inclusive
+     * mode stores this in the LLC line's core-valid bits;
+     * non-inclusive mode uses the dedicated snoop filter.
+     * @{
+     */
+    std::uint32_t residencyBits(SocketId socket, PAddr line) const;
+    void addResidency(SocketId socket, PAddr line, CoreId core);
+    void clearResidency(SocketId socket, PAddr line, CoreId core);
+    /** Drop the snoop-filter entry and maybe the global-dir bit. */
+    void reconcilePresence(SocketId socket, PAddr line);
+    /** @} */
+    /** Downgrade any F-state copy to S (MESIF designation moves). */
+    void clearForwarder(PAddr line);
+    /** @} */
+
+    /** @name Timing helpers (memory_system.cc) */
+    /** @{ */
+    /** Queue on a resource; returns wait cycles, updates its meter. */
+    Tick occupy(Resource &res, Tick when, Tick service);
+    /** Per-operation gaussian + long-tail jitter. */
+    Tick jitter();
+    /**
+     * Utilization-scaled interference delay for a load that
+     * traversed resources with summed utilization @p util.
+     */
+    Tick contentionDelay(double util);
+    /** @} */
+
+    SystemConfig config_;
+    std::vector<std::unique_ptr<Cache>> l1s_;  //!< per core
+    std::vector<std::unique_ptr<Cache>> l2s_;  //!< per core
+    std::vector<Socket> sockets_;
+    /** Home-agent directory: socket presence bits per line. */
+    std::unordered_map<PAddr, std::uint32_t> globalDir_;
+    /**
+     * Non-inclusive mode only: per-socket snoop filter tracking
+     * private residency independently of the LLC data array.
+     */
+    std::vector<std::unordered_map<PAddr, std::uint32_t>>
+        snoopFilter_;
+    Resource qpi_;
+    Resource dram_;
+    /** Summed utilization of resources the current load traversed. */
+    double pathUtil_ = 0.0;
+    Rng rng_;
+    MemStats stats_;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,60 @@
+#include "mem/params.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+namespace
+{
+
+void
+validateGeometry(const char *name, const CacheGeometry &g)
+{
+    fatal_if(g.sizeBytes == 0, name, ": cache size is zero");
+    fatal_if(g.assoc == 0, name, ": associativity is zero");
+    fatal_if(g.sizeBytes % (g.assoc * lineBytes) != 0, name,
+             ": size not divisible by assoc * line size");
+}
+
+} // namespace
+
+const char *
+coherenceFlavorName(CoherenceFlavor f)
+{
+    switch (f) {
+      case CoherenceFlavor::mesi: return "MESI";
+      case CoherenceFlavor::mesif: return "MESIF";
+      case CoherenceFlavor::moesi: return "MOESI";
+    }
+    return "?";
+}
+
+const char *
+coherenceLookupName(CoherenceLookup k)
+{
+    switch (k) {
+      case CoherenceLookup::directory: return "directory";
+      case CoherenceLookup::snoop: return "snoop";
+    }
+    return "?";
+}
+
+void
+SystemConfig::validate() const
+{
+    fatal_if(sockets <= 0, "need at least one socket");
+    fatal_if(coresPerSocket <= 0, "need at least one core per socket");
+    fatal_if(coresPerSocket > 32,
+             "core-valid bit vector supports at most 32 cores/socket");
+    validateGeometry("L1", l1);
+    validateGeometry("L2", l2);
+    validateGeometry("LLC", llc);
+    fatal_if(l2.sizeBytes < l1.sizeBytes,
+             "L2 must be at least as large as L1 (L2 is inclusive)");
+    fatal_if(llc.sizeBytes < l2.sizeBytes,
+             "LLC must be at least as large as L2 (LLC is inclusive)");
+    fatal_if(timing.clockGhz <= 0.0, "clock frequency must be positive");
+}
+
+} // namespace csim

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Configuration of the simulated machine: cache geometry, timing
+ * parameters and system topology.
+ *
+ * Defaults model the paper's testbed (dual-socket Intel Xeon X5650,
+ * 6 cores/socket @ 2.67 GHz, 32 KB L1 + 256 KB L2 private, 12 MB
+ * shared inclusive LLC per socket). Latency means are calibrated to
+ * the paper's Figure 2 bands by composing per-hop segments, so
+ * ablations can vary individual hops (e.g. the QPI crossing).
+ */
+
+#ifndef COHERSIM_MEM_PARAMS_HH
+#define COHERSIM_MEM_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace csim
+{
+
+/** Geometry of one set-associative cache. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned assoc = 1;
+
+    unsigned
+    numSets() const
+    {
+        return static_cast<unsigned>(sizeBytes / (assoc * lineBytes));
+    }
+};
+
+/** Latency and contention model parameters (cycles). */
+struct TimingParams
+{
+    /** Reference clock, used to convert cycles to seconds/Kbps. */
+    double clockGhz = 2.67;
+
+    /** @name Hit latencies */
+    /** @{ */
+    Tick l1Hit = 4;
+    Tick l2Hit = 11;
+    /** @} */
+
+    /**
+     * @name Hop segments
+     * Timed-load paths compose these (see DESIGN.md §5):
+     * localShared 98, localExcl 124, remoteShared 186, remoteExcl
+     * 252, dram 355 — matching the paper's Figure 2 bands.
+     * @{
+     */
+    Tick privMissOverhead = 30;  //!< L1+L2 lookup + request issue
+    Tick llcService = 68;        //!< LLC tag+data access and reply
+    Tick ownerFwd = 26;          //!< LLC -> owner cache -> reply
+    Tick qpiRoundTrip = 88;      //!< cross-socket link round trip
+    Tick remoteOwnerFwd = 66;    //!< remote LLC -> remote owner hop
+    Tick dramService = 257;      //!< memory controller + DRAM
+    /** @} */
+
+    /** @name Derived end-to-end load latencies */
+    /** @{ */
+    Tick localSharedLat() const
+    {
+        return privMissOverhead + llcService;
+    }
+    Tick localExclLat() const
+    {
+        return localSharedLat() + ownerFwd;
+    }
+    Tick remoteSharedLat() const
+    {
+        return localSharedLat() + qpiRoundTrip;
+    }
+    Tick remoteExclLat() const
+    {
+        return remoteSharedLat() + remoteOwnerFwd;
+    }
+    Tick dramLat() const
+    {
+        return localSharedLat() + dramService;
+    }
+    /** @} */
+
+    /** @name Other operation costs */
+    /** @{ */
+    Tick flushBase = 58;        //!< clflush issue + global invalidate
+    Tick flushDirtyExtra = 42;  //!< extra when dirty data written back
+    Tick upgradeLat = 40;       //!< S->M invalidation round
+    Tick invalidateLat = 30;    //!< RFO invalidation cost
+    Tick cowFaultLat = 2500;    //!< OS copy-on-write fault handling
+    /** @} */
+
+    /** @name Jitter (per timed operation) */
+    /** @{ */
+    double jitterSd = 4.0;       //!< gaussian sd around path latency
+    double longTailProb = 0.0003; //!< chance of a TLB-walk/IRQ tail
+    Tick longTailMin = 150;
+    Tick longTailMax = 500;
+    /** @} */
+
+    /**
+     * @name Contention occupancies
+     * Service time each access holds the resource; queueing behind
+     * busy resources produces the latency tails that noise workloads
+     * induce (paper §VIII-C).
+     * @{
+     */
+    Tick llcPortBusy = 14;
+    Tick qpiBusy = 30;
+    Tick dramBusy = 52;
+    /** Extra cycles every private miss pays under snoop-based
+     *  lookup (the broadcast and the tag probes, §VIII-E). */
+    Tick snoopOverhead = 14;
+    /**
+     * Utilization-scaled interference: a timed load traversing
+     * resources with recent utilization u picks up an extra delay of
+     * roughly gaussian(u * contentionMean, u * contentionSd),
+     * clamped at zero. Models the bandwidth-dependent latency
+     * variance of the shared ring/link/memory controller that the
+     * paper's kernel-build noise induces (§VIII-C).
+     */
+    double contentionMean = 11.0;
+    double contentionSd = 10.0;
+    /**
+     * Extra contention multiplier for owner-forward (E/M state)
+     * service paths: the forwarded request crosses the saturated
+     * internal bus twice and interrupts a busy core, so E-state
+     * loads show much larger swings under noise than LLC-served
+     * S-state loads (paper §VIII-C).
+     */
+    double exclPathContention = 1.5;
+    /** Fraction of DRAM-channel pressure felt by every miss that
+     *  enters the socket's uncore queue (LLC hits included). */
+    double uncoreCoupling = 0.35;
+    /** Time constant of the utilization estimate, cycles. */
+    double contentionTau = 4000.0;
+    /** @} */
+
+    /**
+     * NUMA: physical lines are home-interleaved across sockets; a
+     * DRAM access whose home is the other socket crosses the QPI
+     * link (latency + link occupancy). This is how memory-intensive
+     * noise on either socket loads the inter-socket link.
+     */
+    bool numaInterleave = true;
+    /** Extra latency for a DRAM access homed on the other socket. */
+    Tick numaRemoteExtra = 70;
+
+    /**
+     * Mitigation ablation (paper §VIII-E, technique 3): private
+     * caches notify the LLC of E->M upgrades, letting the LLC serve
+     * reads of E-state blocks directly so E and S latency profiles
+     * collapse into one band.
+     */
+    bool llcNotifiedOfUpgrade = false;
+
+    /** Convert a cycle count to seconds at the configured clock. */
+    double
+    cyclesToSeconds(Tick cycles) const
+    {
+        return static_cast<double>(cycles) / (clockGhz * 1e9);
+    }
+
+    /** Kilobits/second achieved by @p bits over @p cycles. */
+    double
+    kbps(std::uint64_t bits, Tick cycles) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(bits) /
+               cyclesToSeconds(cycles) / 1e3;
+    }
+};
+
+/** Protocol flavor: which performance-optimizing states exist. */
+enum class CoherenceFlavor : std::uint8_t
+{
+    mesi,   //!< the four base states (paper's model)
+    mesif,  //!< + F: a designated forwarder among clean sharers
+    moesi,  //!< + O: dirty-shared owner services reads, no writeback
+};
+
+/** How a miss locates other copies. */
+enum class CoherenceLookup : std::uint8_t
+{
+    directory,  //!< LLC directory with core-valid bits (paper §VI-A)
+    snoop,      //!< broadcast probe of the private caches (§VIII-E)
+};
+
+const char *coherenceFlavorName(CoherenceFlavor f);
+const char *coherenceLookupName(CoherenceLookup k);
+
+/** Topology and configuration of the whole simulated machine. */
+struct SystemConfig
+{
+    int sockets = 2;
+    int coresPerSocket = 6;
+
+    /** Protocol flavor (MESI / MESIF / MOESI). */
+    CoherenceFlavor flavor = CoherenceFlavor::mesi;
+    /** Miss-resolution mechanism. */
+    CoherenceLookup lookup = CoherenceLookup::directory;
+    /**
+     * Inclusive LLC (the paper's machine) vs non-inclusive
+     * (§VIII-E discussion): with a non-inclusive LLC, evictions do
+     * not back-invalidate private copies, and private residency is
+     * tracked in a dedicated snoop-filter directory decoupled from
+     * the LLC data array.
+     */
+    bool llcInclusive = true;
+
+    CacheGeometry l1{32 * 1024, 8};
+    CacheGeometry l2{256 * 1024, 8};
+    CacheGeometry llc{12 * 1024 * 1024, 16};
+
+    TimingParams timing;
+
+    /** Seed for all simulator randomness. */
+    std::uint64_t seed = 1;
+
+    int numCores() const { return sockets * coresPerSocket; }
+
+    SocketId
+    socketOf(CoreId core) const
+    {
+        return core / coresPerSocket;
+    }
+
+    /** n-th core of a socket. */
+    CoreId
+    coreOf(SocketId socket, int index) const
+    {
+        return socket * coresPerSocket + index;
+    }
+
+    /** Validate the configuration; fatal() on errors. */
+    void validate() const;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_MEM_PARAMS_HH

@@ -1,0 +1,185 @@
+#include "os/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+Kernel::Kernel(MemorySystem &mem) : mem_(mem), ksm_(phys_) {}
+
+Process &
+Kernel::createProcess(const std::string &name)
+{
+    const auto pid = static_cast<ProcessId>(processes_.size());
+    processes_.push_back(
+        std::make_unique<Process>(pid, name, phys_));
+    return *processes_.back();
+}
+
+Process *
+Kernel::process(ProcessId pid)
+{
+    if (pid < 0 || static_cast<std::size_t>(pid) >= processes_.size())
+        return nullptr;
+    return processes_[static_cast<std::size_t>(pid)].get();
+}
+
+void
+Kernel::bindThread(ThreadId tid, ProcessId pid)
+{
+    fatal_if(!process(pid), "binding thread to unknown process ", pid);
+    threadProc_[tid] = pid;
+}
+
+SimThread *
+Kernel::spawnThread(Scheduler &sched, const std::string &name,
+                    CoreId core, Process &proc,
+                    std::function<Task(ThreadApi)> body)
+{
+    SimThread *t = sched.spawn(name, core, proc.pid(),
+                               std::move(body));
+    bindThread(t->id(), proc.pid());
+    return t;
+}
+
+std::pair<VAddr, VAddr>
+Kernel::mapSharedRegion(Process &a, Process &b, std::uint64_t bytes)
+{
+    fatal_if(bytes == 0, "shared region of zero bytes");
+    const std::uint64_t npages = (bytes + pageBytes - 1) / pageBytes;
+    std::vector<PAddr> pages;
+    pages.reserve(npages);
+    for (std::uint64_t i = 0; i < npages; ++i)
+        pages.push_back(phys_.allocPage());
+    const VAddr va = a.mapPhysical(pages, /*writable=*/false);
+    const VAddr vb = b.mapPhysical(pages, /*writable=*/false);
+    // mapPhysical took one reference per process; drop the allocation
+    // reference so the pages die with their last mapping.
+    for (PAddr p : pages)
+        phys_.release(p);
+    return {va, vb};
+}
+
+std::vector<MergeEvent>
+Kernel::runKsmScan()
+{
+    std::vector<Process *> procs;
+    procs.reserve(processes_.size());
+    for (auto &p : processes_)
+        procs.push_back(p.get());
+    return ksm_.scanOnce(procs);
+}
+
+Process &
+Kernel::procOfThread(ThreadId tid)
+{
+    const auto it = threadProc_.find(tid);
+    panic_if(it == threadProc_.end(),
+             "thread ", tid, " not bound to any process");
+    Process *p = process(it->second);
+    panic_if(!p, "thread ", tid, " bound to dead process");
+    return *p;
+}
+
+AccessResult
+Kernel::load(ThreadId tid, CoreId core, VAddr addr, Tick when)
+{
+    Process &proc = procOfThread(tid);
+    const PageMapping *m = proc.lookup(addr);
+    fatal_if(!m, proc.name(), ": segmentation fault (load of ", addr,
+             ")");
+    return mem_.load(core, m->paddr + pageOffset(addr), when);
+}
+
+AccessResult
+Kernel::store(ThreadId tid, CoreId core, VAddr addr, Tick when)
+{
+    Process &proc = procOfThread(tid);
+    PageMapping *m = proc.lookup(addr);
+    fatal_if(!m, proc.name(), ": segmentation fault (store to ", addr,
+             ")");
+    Tick fault_lat = 0;
+    if (!m->writable) {
+        fatal_if(!m->cow, proc.name(),
+                 ": segmentation fault (store to read-only page at ",
+                 addr, ")");
+        // Copy-on-write fault: split from the merged page. The page
+        // stays mergeable, so a later KSM scan may re-merge it.
+        const PAddr old_page = m->paddr;
+        const PAddr new_page = phys_.allocPage();
+        if (const auto *data = phys_.contents(old_page))
+            phys_.setContents(new_page, *data);
+        PageMapping split = *m;
+        split.paddr = new_page;
+        split.writable = true;
+        split.cow = false;
+        proc.remap(pageAlign(addr), split);
+        phys_.release(old_page);
+        ++stats_.cowFaults;
+        ++ksm_.stats().pagesUnmerged;
+        fault_lat = mem_.config().timing.cowFaultLat;
+        m = proc.lookup(addr);
+    }
+    AccessResult res =
+        mem_.store(core, m->paddr + pageOffset(addr), when + fault_lat);
+    res.latency += fault_lat;
+    return res;
+}
+
+AccessResult
+Kernel::flush(ThreadId tid, CoreId core, VAddr addr, Tick when)
+{
+    Process &proc = procOfThread(tid);
+    const PageMapping *m = proc.lookup(addr);
+    fatal_if(!m, proc.name(), ": segmentation fault (clflush of ",
+             addr, ")");
+    const PAddr paddr = m->paddr + pageOffset(addr);
+    if (guard_ && m->cow)
+        guard_->noteFlush(pageAlign(paddr), when);
+    // The guard may have un-merged the page; re-translate.
+    const PageMapping *after = proc.lookup(addr);
+    return mem_.flush(core, after->paddr + pageOffset(addr), when);
+}
+
+KsmGuard &
+Kernel::enableKsmGuard(KsmGuardParams params)
+{
+    guard_ = std::make_unique<KsmGuard>(*this, params);
+    return *guard_;
+}
+
+int
+Kernel::unmergePage(PAddr page, bool quarantine)
+{
+    int touched = 0;
+    bool keeper_seen = false;
+    for (auto &proc : processes_) {
+        // Collect matching virtual pages first: remapping mutates
+        // the table entries in place but not the key set.
+        for (const auto &[vpage, mapping] : proc->pageTable()) {
+            if (mapping.paddr != page || !mapping.cow)
+                continue;
+            PageMapping split = mapping;
+            if (keeper_seen) {
+                const PAddr fresh = phys_.allocPage();
+                if (const auto *data = phys_.contents(page))
+                    phys_.setContents(fresh, *data);
+                split.paddr = fresh;
+            }
+            keeper_seen = true;
+            split.writable = true;
+            split.cow = false;
+            if (quarantine)
+                split.mergeable = false;
+            const PAddr old = mapping.paddr;
+            proc->remap(vpage, split);
+            if (split.paddr != old)
+                phys_.release(old);
+            ++ksm_.stats().pagesUnmerged;
+            ++touched;
+        }
+    }
+    return touched;
+}
+
+} // namespace csim

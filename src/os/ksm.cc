@@ -1,0 +1,87 @@
+#include "os/ksm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "os/phys_mem.hh"
+#include "os/process.hh"
+
+namespace csim
+{
+
+KsmDaemon::KsmDaemon(PhysMem &phys) : phys_(phys) {}
+
+bool
+KsmDaemon::isStablePage(PAddr page) const
+{
+    return std::any_of(stable_.begin(), stable_.end(),
+                       [page](const auto &kv) {
+                           return kv.second == page;
+                       });
+}
+
+std::vector<MergeEvent>
+KsmDaemon::scanOnce(const std::vector<Process *> &processes)
+{
+    ++stats_.scans;
+    std::vector<MergeEvent> events;
+
+    // Stable-tree entries whose canonical page has been fully split
+    // (all sharers COWed away) may be dangling; prune them first.
+    for (auto it = stable_.begin(); it != stable_.end();) {
+        if (!phys_.isAllocated(it->second))
+            it = stable_.erase(it);
+        else
+            ++it;
+    }
+
+    for (Process *proc : processes) {
+        // Iterate a snapshot: merging remaps entries in place but the
+        // key set is unchanged, so direct iteration is safe; we copy
+        // keys anyway for clarity.
+        std::vector<VAddr> vpages;
+        vpages.reserve(proc->pageTable().size());
+        for (const auto &[vpage, m] : proc->pageTable()) {
+            if (m.mergeable)
+                vpages.push_back(vpage);
+        }
+        for (VAddr vpage : vpages) {
+            PageMapping *m = proc->lookup(vpage);
+            panic_if(!m, "mergeable page vanished mid-scan");
+            ++stats_.pagesScanned;
+
+            const std::uint64_t h = phys_.contentHash(m->paddr);
+            auto it = stable_.find(h);
+            if (it == stable_.end()) {
+                // First page with this content: it becomes the
+                // stable-tree canonical and is marked read-only COW
+                // so later writers fault and split.
+                stable_.emplace(h, m->paddr);
+                m->writable = false;
+                m->cow = true;
+                continue;
+            }
+            const PAddr canonical = it->second;
+            if (canonical == m->paddr)
+                continue;  // already merged onto the canonical
+            // Guard against hash collisions with a byte comparison.
+            if (!phys_.samePage(canonical, m->paddr))
+                continue;
+
+            const PAddr released = m->paddr;
+            phys_.addRef(canonical);
+            PageMapping merged = *m;
+            merged.paddr = canonical;
+            merged.writable = false;
+            merged.cow = true;
+            proc->remap(vpage, merged);
+            phys_.release(released);
+            ++stats_.pagesMerged;
+            events.push_back(MergeEvent{proc->pid(), vpage,
+                                        canonical, released});
+        }
+    }
+    return events;
+}
+
+} // namespace csim

@@ -1,0 +1,34 @@
+#include "os/ksm_guard.hh"
+
+#include "common/logging.hh"
+#include "os/kernel.hh"
+
+namespace csim
+{
+
+KsmGuard::KsmGuard(Kernel &kernel, KsmGuardParams params)
+    : kernel_(kernel), params_(params)
+{
+    fatal_if(params_.flushThreshold == 0,
+             "KSM guard needs a positive flush threshold");
+    fatal_if(params_.window == 0,
+             "KSM guard needs a positive window");
+}
+
+void
+KsmGuard::noteFlush(PAddr page, Tick when)
+{
+    Watch &w = watches_[page];
+    if (when - w.windowStart > params_.window) {
+        w.windowStart = when;
+        w.flushes = 0;
+    }
+    if (++w.flushes < params_.flushThreshold)
+        return;
+    // Suspicious: un-merge and quarantine the page.
+    if (kernel_.unmergePage(page, /*quarantine=*/true) > 0)
+        ++unmerged_;
+    watches_.erase(page);
+}
+
+} // namespace csim

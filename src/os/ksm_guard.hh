@@ -1,0 +1,71 @@
+/**
+ * @file
+ * KSM guard — the paper's mitigation 2 (§VIII-E): "Setup timeouts
+ * for KSM to un-merge shared pages with suspicious access patterns
+ * so that the trojan and spy communication can be disrupted
+ * dynamically."
+ *
+ * The covert channel's signature on a deduplicated page is a
+ * torrent of cache-line flushes (the spy's flush+reload probing).
+ * The guard counts flushes per merged physical page in a sliding
+ * window; a page exceeding the threshold is un-merged on the spot
+ * and its split copies are quarantined (made non-mergeable), so the
+ * adversaries cannot simply wait for KSM to re-merge them.
+ */
+
+#ifndef COHERSIM_OS_KSM_GUARD_HH
+#define COHERSIM_OS_KSM_GUARD_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace csim
+{
+
+class Kernel;
+
+/** Detection thresholds of the KSM guard. */
+struct KsmGuardParams
+{
+    /** Flushes within one window that mark a page suspicious. */
+    std::uint64_t flushThreshold = 48;
+    /** Sliding-window length, cycles (~0.4 ms at 2.67 GHz). */
+    Tick window = 1'000'000;
+};
+
+/** Flush-rate monitor over KSM-merged pages. */
+class KsmGuard
+{
+  public:
+    KsmGuard(Kernel &kernel, KsmGuardParams params);
+
+    /**
+     * Record a flush touching @p page (page-aligned) at @p when.
+     * Called by the kernel for flushes that hit merged (COW) pages.
+     * May trigger an un-merge of the page.
+     */
+    void noteFlush(PAddr page, Tick when);
+
+    /** Pages the guard has un-merged so far. */
+    std::uint64_t pagesUnmerged() const { return unmerged_; }
+
+    const KsmGuardParams &params() const { return params_; }
+
+  private:
+    struct Watch
+    {
+        Tick windowStart = 0;
+        std::uint64_t flushes = 0;
+    };
+
+    Kernel &kernel_;
+    KsmGuardParams params_;
+    std::unordered_map<PAddr, Watch> watches_;
+    std::uint64_t unmerged_ = 0;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_OS_KSM_GUARD_HH

@@ -1,0 +1,127 @@
+#include "os/process.hh"
+
+#include "common/logging.hh"
+#include "os/phys_mem.hh"
+
+namespace csim
+{
+
+Process::Process(ProcessId pid, std::string name, PhysMem &phys)
+    : pid_(pid), name_(std::move(name)), phys_(phys)
+{}
+
+Process::~Process()
+{
+    for (auto &[vpage, mapping] : table_)
+        phys_.release(mapping.paddr);
+}
+
+VAddr
+Process::mmap(std::uint64_t bytes)
+{
+    fatal_if(bytes == 0, "mmap of zero bytes");
+    const std::uint64_t pages = (bytes + pageBytes - 1) / pageBytes;
+    const VAddr base = nextMmap_;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        PageMapping m;
+        m.paddr = phys_.allocPage();
+        table_[base + i * pageBytes] = m;
+    }
+    nextMmap_ = base + pages * pageBytes;
+    return base;
+}
+
+VAddr
+Process::mapPhysical(const std::vector<PAddr> &pages, bool writable)
+{
+    fatal_if(pages.empty(), "mapPhysical with no pages");
+    const VAddr base = nextMmap_;
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        phys_.addRef(pages[i]);
+        PageMapping m;
+        m.paddr = pages[i];
+        m.writable = writable;
+        table_[base + i * pageBytes] = m;
+    }
+    nextMmap_ = base + pages.size() * pageBytes;
+    return base;
+}
+
+void
+Process::munmap(VAddr base, std::uint64_t bytes)
+{
+    const std::uint64_t pages = (bytes + pageBytes - 1) / pageBytes;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        auto it = table_.find(base + i * pageBytes);
+        fatal_if(it == table_.end(), "munmap of unmapped page ",
+                 base + i * pageBytes);
+        phys_.release(it->second.paddr);
+        table_.erase(it);
+    }
+}
+
+void
+Process::madviseMergeable(VAddr base, std::uint64_t bytes)
+{
+    const std::uint64_t pages = (bytes + pageBytes - 1) / pageBytes;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        PageMapping *m = lookup(base + i * pageBytes);
+        fatal_if(!m, "madvise of unmapped page ",
+                 base + i * pageBytes);
+        m->mergeable = true;
+    }
+}
+
+const PageMapping *
+Process::lookup(VAddr vaddr) const
+{
+    const auto it = table_.find(pageAlign(vaddr));
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+PageMapping *
+Process::lookup(VAddr vaddr)
+{
+    const auto it = table_.find(pageAlign(vaddr));
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+PAddr
+Process::translate(VAddr vaddr) const
+{
+    const PageMapping *m = lookup(vaddr);
+    panic_if(!m, name_, ": translating unmapped address ", vaddr);
+    return m->paddr + pageOffset(vaddr);
+}
+
+void
+Process::writeData(VAddr vaddr, const std::vector<std::uint8_t> &data)
+{
+    std::size_t done = 0;
+    VAddr cur = vaddr;
+    while (done < data.size()) {
+        const PageMapping *m = lookup(cur);
+        fatal_if(!m, name_, ": writeData to unmapped address ", cur);
+        const unsigned off = pageOffset(cur);
+        const std::size_t chunk =
+            std::min<std::size_t>(pageBytes - off, data.size() - done);
+        phys_.write(m->paddr, off,
+                    std::vector<std::uint8_t>(
+                        data.begin() + static_cast<std::ptrdiff_t>(done),
+                        data.begin() +
+                            static_cast<std::ptrdiff_t>(done + chunk)));
+        done += chunk;
+        cur += chunk;
+    }
+}
+
+void
+Process::remap(VAddr vpage, const PageMapping &mapping)
+{
+    auto it = table_.find(pageAlign(vpage));
+    panic_if(it == table_.end(), name_, ": remap of unmapped page ",
+             vpage);
+    it->second = mapping;
+}
+
+} // namespace csim

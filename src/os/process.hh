@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Simulated processes: per-process virtual address space backed by a
+ * page table over PhysMem, with mmap/madvise-style management.
+ */
+
+#ifndef COHERSIM_OS_PROCESS_HH
+#define COHERSIM_OS_PROCESS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace csim
+{
+
+class PhysMem;
+
+/** One page-table entry. */
+struct PageMapping
+{
+    PAddr paddr = 0;
+    bool writable = true;
+    /** Store triggers a copy-on-write fault (KSM-merged pages). */
+    bool cow = false;
+    /** Registered with madvise(MADV_MERGEABLE). */
+    bool mergeable = false;
+};
+
+/** A simulated process and its address space. */
+class Process
+{
+  public:
+    Process(ProcessId pid, std::string name, PhysMem &phys);
+    ~Process();
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    ProcessId pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Map @p bytes of fresh zeroed memory (anonymous mmap).
+     * @return base virtual address (page aligned).
+     */
+    VAddr mmap(std::uint64_t bytes);
+
+    /**
+     * Map an existing physical page range into this address space
+     * (explicit sharing: shared-library model). Takes a reference on
+     * each page.
+     *
+     * @param pages physical page base addresses.
+     * @param writable whether stores are permitted.
+     * @return base virtual address.
+     */
+    VAddr mapPhysical(const std::vector<PAddr> &pages, bool writable);
+
+    /** Unmap a previously mapped range, releasing page references. */
+    void munmap(VAddr base, std::uint64_t bytes);
+
+    /** madvise(MADV_MERGEABLE): allow KSM to merge this range. */
+    void madviseMergeable(VAddr base, std::uint64_t bytes);
+
+    /** Look up the mapping covering @p vaddr; nullptr if unmapped. */
+    const PageMapping *lookup(VAddr vaddr) const;
+    PageMapping *lookup(VAddr vaddr);
+
+    /** Translate; panics on unmapped addresses (tests use lookup). */
+    PAddr translate(VAddr vaddr) const;
+
+    /**
+     * Functional data write (no timing): fill memory with a pattern,
+     * e.g. the identical pages the trojan/spy prepare for KSM.
+     */
+    void writeData(VAddr vaddr, const std::vector<std::uint8_t> &data);
+
+    /** Page table, keyed by virtual page base. */
+    const std::map<VAddr, PageMapping> &pageTable() const
+    {
+        return table_;
+    }
+
+    /** Replace the mapping of one virtual page (KSM / COW). */
+    void remap(VAddr vpage, const PageMapping &mapping);
+
+    PhysMem &phys() { return phys_; }
+
+  private:
+    ProcessId pid_;
+    std::string name_;
+    PhysMem &phys_;
+    std::map<VAddr, PageMapping> table_;
+    VAddr nextMmap_ = 0x4000'0000;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_OS_PROCESS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Abstract memory interface the scheduler drives.
+ *
+ * The sim layer is independent of the concrete memory hierarchy: every
+ * memory operation a simulated thread issues is routed through this
+ * interface. The OS layer implements it (virtual address translation +
+ * fault handling) on top of the mem layer's coherent hierarchy.
+ */
+
+#ifndef COHERSIM_SIM_MEMORY_BACKEND_HH
+#define COHERSIM_SIM_MEMORY_BACKEND_HH
+
+#include "common/types.hh"
+
+namespace csim
+{
+
+/** Where a memory request was ultimately serviced from. */
+enum class ServedBy
+{
+    l1,              //!< requester's private L1
+    l2,              //!< requester's private L2
+    localLlc,        //!< LLC in the requester's socket (clean copy)
+    localOwner,      //!< another core's private cache, same socket
+    remoteLlc,       //!< LLC in another socket (clean copy)
+    remoteOwner,     //!< another core's private cache, other socket
+    dram,            //!< main memory
+    none,            //!< no data movement (e.g. flush, upgrade)
+};
+
+/** Printable name for a ServedBy value. */
+const char *servedByName(ServedBy s);
+
+/** Result of a memory operation. */
+struct AccessResult
+{
+    Tick latency = 0;            //!< cycles until the op completed
+    ServedBy servedBy = ServedBy::none;
+};
+
+/**
+ * Interface between the thread scheduler and the memory system.
+ *
+ * @note All calls are made in global virtual-time order; the backend
+ * may mutate shared coherence state atomically per call.
+ */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /** Timed load of one cache line containing @p addr. */
+    virtual AccessResult load(ThreadId tid, CoreId core, VAddr addr,
+                              Tick when) = 0;
+
+    /** Store to the line containing @p addr (acquires M state). */
+    virtual AccessResult store(ThreadId tid, CoreId core, VAddr addr,
+                               Tick when) = 0;
+
+    /**
+     * clflush equivalent: evict the line containing @p addr from
+     * every cache in the system, writing back dirty data.
+     */
+    virtual AccessResult flush(ThreadId tid, CoreId core, VAddr addr,
+                               Tick when) = 0;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_SIM_MEMORY_BACKEND_HH

@@ -1,0 +1,238 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+Scheduler::Scheduler(MemoryBackend *backend, int num_cores,
+                     SchedulerParams params)
+    : backend_(backend), params_(params)
+{
+    fatal_if(num_cores <= 0, "scheduler needs at least one core");
+    fatal_if(!backend, "scheduler needs a memory backend");
+    cores_.resize(static_cast<std::size_t>(num_cores));
+}
+
+Scheduler::~Scheduler() = default;
+
+SimThread *
+Scheduler::spawn(const std::string &name, CoreId core, ProcessId pid,
+                 std::function<Task(ThreadApi)> body)
+{
+    fatal_if(core < 0 || core >= numCores(),
+             "thread ", name, " pinned to invalid core ", core);
+    const auto tid = static_cast<ThreadId>(threads_.size());
+    auto thread = std::make_unique<SimThread>(tid, name, core, pid);
+    // Threads spawned mid-simulation start at the current global time.
+    thread->now = globalNow_;
+    ThreadApi api(thread.get(), this);
+    thread->installBody(std::move(body), api);
+    threads_.push_back(std::move(thread));
+    return threads_.back().get();
+}
+
+bool
+Scheduler::allFinished() const
+{
+    return std::all_of(threads_.begin(), threads_.end(),
+                       [](const auto &t) { return t->finished; });
+}
+
+bool
+Scheduler::hasWaiter(CoreId core, ThreadId except) const
+{
+    for (const auto &t : threads_) {
+        if (t->id() != except && !t->finished && t->core() == core)
+            return true;
+    }
+    return false;
+}
+
+Tick
+Scheduler::effectiveStart(const SimThread &t) const
+{
+    const auto &core = cores_[static_cast<std::size_t>(t.core())];
+    Tick start = std::max(t.now, core.freeAt);
+    if (core.lastThread != t.id() &&
+        core.lastThread != invalidThread) {
+        start += params_.contextSwitchPenalty;
+    }
+    return start;
+}
+
+SimThread *
+Scheduler::pickNext()
+{
+    // Two event kinds compete: coroutine resumes (at an op's
+    // completion time) and op issues (at an op's start time).
+    // Resumes run first at equal times so shared state written by a
+    // coroutine at virtual time T is visible to every operation
+    // issued at or after T.
+    SimThread *best = nullptr;
+    Tick best_time = maxTick;
+    bool best_is_resume = false;
+    auto consider = [&](SimThread *t, Tick time, bool is_resume) {
+        if (time < best_time ||
+            (time == best_time && is_resume && !best_is_resume)) {
+            best = t;
+            best_time = time;
+            best_is_resume = is_resume;
+        }
+    };
+    auto scan = [&](bool honor_yield) {
+        for (const auto &tp : threads_) {
+            SimThread &t = *tp;
+            if (t.finished)
+                continue;
+            if (t.resumePending) {
+                consider(&t, t.now, true);
+            } else if (t.pending.kind != MemOp::Kind::none) {
+                const auto &core =
+                    cores_[static_cast<std::size_t>(t.core())];
+                if (honor_yield && core.mustYield &&
+                    core.lastThread == t.id() &&
+                    hasWaiter(t.core(), t.id())) {
+                    continue;
+                }
+                consider(&t, effectiveStart(t), false);
+            }
+        }
+    };
+    scan(true);
+    if (!best) {
+        // Everyone skipped for quantum reasons: clear yield flags and
+        // rescan so we never deadlock.
+        bool any_yield = false;
+        for (auto &c : cores_) {
+            any_yield = any_yield || c.mustYield;
+            c.mustYield = false;
+        }
+        if (any_yield)
+            scan(false);
+    }
+    return best;
+}
+
+void
+Scheduler::resume(SimThread &t)
+{
+    globalNow_ = std::max(globalNow_, t.now);
+    t.resumePending = false;
+    panic_if(!t.current, "thread ", t.name(),
+             " has no coroutine frame to resume");
+    t.current.resume();
+
+    if (t.finished) {
+        auto h = t.program().handle();
+        if (h && h.promise().exception)
+            std::rethrow_exception(h.promise().exception);
+    } else {
+        panic_if(t.pending.kind == MemOp::Kind::none,
+                 "thread ", t.name(),
+                 " suspended without a pending operation");
+    }
+}
+
+void
+Scheduler::execute(SimThread &t)
+{
+    auto &core = cores_[static_cast<std::size_t>(t.core())];
+    if (t.pending.kind == MemOp::Kind::sleep) {
+        // Sleeping releases the core: no occupancy, no switch cost.
+        const Tick start = t.now;
+        globalNow_ = std::max(globalNow_, start);
+        t.lastLatency = t.pending.cycles;
+        t.now = start + t.pending.cycles;
+        t.pending = MemOp{};
+        ++t.opsExecuted;
+        if (core.lastThread == t.id())
+            core.lastThread = invalidThread;
+        t.resumePending = true;
+        return;
+    }
+    const Tick start = effectiveStart(t);
+    if (core.lastThread != t.id()) {
+        core.lastThread = t.id();
+        core.acquiredAt = start;
+        core.mustYield = false;
+    }
+
+    const MemOp op = t.pending;
+    t.pending = MemOp{};
+    globalNow_ = std::max(globalNow_, start);
+
+    AccessResult res;
+    switch (op.kind) {
+      case MemOp::Kind::load:
+        res = backend_->load(t.id(), t.core(), op.addr, start);
+        break;
+      case MemOp::Kind::store:
+        res = backend_->store(t.id(), t.core(), op.addr, start);
+        break;
+      case MemOp::Kind::flush:
+        res = backend_->flush(t.id(), t.core(), op.addr, start);
+        break;
+      case MemOp::Kind::spin:
+        res.latency = op.cycles;
+        break;
+      case MemOp::Kind::spinUntil:
+        res.latency = op.cycles > start ? op.cycles - start : 0;
+        break;
+      case MemOp::Kind::sleep:
+        panic("sleep handled before core accounting");
+      case MemOp::Kind::none:
+        panic("executing thread ", t.name(), " with no pending op");
+    }
+
+    t.lastLatency = res.latency;
+    if (op.kind == MemOp::Kind::load ||
+        op.kind == MemOp::Kind::store ||
+        op.kind == MemOp::Kind::flush) {
+        t.lastServed = res.servedBy;
+    }
+    t.now = start + res.latency;
+    ++t.opsExecuted;
+    core.freeAt = t.now;
+    if (t.now - core.acquiredAt > params_.quantum &&
+        hasWaiter(t.core(), t.id())) {
+        core.mustYield = true;
+    }
+    // The coroutine resumes when the operation completes, in global
+    // completion-time order (see pickNext).
+    t.resumePending = true;
+}
+
+bool
+Scheduler::stepOne()
+{
+    SimThread *t = pickNext();
+    if (!t)
+        return false;
+    if (t->resumePending)
+        resume(*t);
+    else
+        execute(*t);
+    return true;
+}
+
+void
+Scheduler::run(Tick until, const std::function<bool()> &stop_when)
+{
+    while (globalNow_ < until) {
+        if (stop_when && stop_when())
+            return;
+        if (!stepOne())
+            return;
+    }
+}
+
+void
+Scheduler::runUntilFinished(const SimThread *thread, Tick until)
+{
+    run(until, [thread] { return thread->finished; });
+}
+
+} // namespace csim

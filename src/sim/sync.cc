@@ -1,0 +1,37 @@
+#include "sim/sync.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+std::uint64_t
+SpinBarrier::arrive()
+{
+    const std::uint64_t gen = generation_;
+    if (++arrived_ >= parties_) {
+        arrived_ = 0;
+        ++generation_;
+    }
+    return gen;
+}
+
+Task
+pollUntil(ThreadApi api, std::function<bool()> pred,
+          Tick poll_interval)
+{
+    panic_if(poll_interval == 0, "pollUntil needs a non-zero interval");
+    while (!pred())
+        co_await api.spin(poll_interval);
+}
+
+Task
+barrierWait(ThreadApi api, SpinBarrier &barrier, Tick poll_interval)
+{
+    const auto gen = barrier.arrive();
+    co_await pollUntil(
+        api, [&barrier, gen] { return barrier.passed(gen); },
+        poll_interval);
+}
+
+} // namespace csim

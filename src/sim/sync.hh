@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synchronization primitives for simulated threads.
+ *
+ * Simulated threads within one process may share C++ state directly
+ * (just as real threads share memory); what must be modelled is the
+ * *time* spent waiting. These primitives therefore expose polling
+ * helpers built on ThreadApi::spin so waiting burns virtual cycles,
+ * matching the spin-wait loops of the paper's trojan implementation.
+ */
+
+#ifndef COHERSIM_SIM_SYNC_HH
+#define COHERSIM_SIM_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/types.hh"
+#include "sim/task.hh"
+#include "sim/thread_api.hh"
+
+namespace csim
+{
+
+/**
+ * Single-producer command queue between a controller thread and a
+ * helper thread of the same simulated process.
+ */
+template <typename T>
+class Mailbox
+{
+  public:
+    /** Enqueue a message (no simulated cost; callers add spin). */
+    void post(T msg) { queue_.push_back(std::move(msg)); }
+
+    /** Dequeue the oldest message, if any. */
+    std::optional<T>
+    tryTake()
+    {
+        if (queue_.empty())
+            return std::nullopt;
+        T msg = std::move(queue_.front());
+        queue_.pop_front();
+        return msg;
+    }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+  private:
+    std::deque<T> queue_;
+};
+
+/** Shared monotonically increasing acknowledgement counter. */
+class AckCounter
+{
+  public:
+    void bump() { ++value_; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Reusable spin barrier: all @p parties must arrive before any of
+ * them proceeds. Wait via awaiting barrierWait().
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int parties) : parties_(parties) {}
+
+    /** Register arrival; @return the generation to wait on. */
+    std::uint64_t arrive();
+
+    /** True once generation @p gen has been released. */
+    bool passed(std::uint64_t gen) const { return generation_ > gen; }
+
+    int parties() const { return parties_; }
+
+  private:
+    int parties_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/**
+ * Coroutine helper: spin until @p pred holds, polling every
+ * @p poll_interval cycles.
+ */
+Task pollUntil(ThreadApi api, std::function<bool()> pred,
+               Tick poll_interval);
+
+/** Coroutine helper: arrive at @p barrier and spin until released. */
+Task barrierWait(ThreadApi api, SpinBarrier &barrier,
+                 Tick poll_interval);
+
+} // namespace csim
+
+#endif // COHERSIM_SIM_SYNC_HH

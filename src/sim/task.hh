@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The coroutine type simulated threads are written in.
+ *
+ * A simulated thread body is a C++20 coroutine returning sim::Task.
+ * Awaiting a ThreadApi operation (load/store/flush/spin) suspends the
+ * coroutine and hands control back to the Scheduler, which executes the
+ * operation at the correct point in global virtual time and resumes the
+ * coroutine with the observed latency. Tasks compose: a Task may
+ * `co_await` another Task, which runs nested on the same simulated
+ * thread (used heavily by the channel layer for subroutines such as
+ * "place block B in a given coherence state").
+ */
+
+#ifndef COHERSIM_SIM_TASK_HH
+#define COHERSIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace csim
+{
+
+class SimThread;
+
+/**
+ * Move-only handle to a simulated-thread coroutine.
+ *
+ * Top-level Tasks are owned by their SimThread; nested Tasks are owned
+ * by the awaiting expression.
+ */
+class Task
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    /** Awaiter transferring control into a nested Task. */
+    struct NestedAwaiter
+    {
+        Handle inner;
+        SimThread *thread;
+
+        bool await_ready() const noexcept
+        {
+            return !inner || inner.done();
+        }
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> outer) noexcept;
+        void await_resume() const;
+    };
+
+    /** Awaiter run at a Task's final suspend point. */
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<> await_suspend(Handle h) noexcept;
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        /** Simulated thread this coroutine executes on. */
+        SimThread *thread = nullptr;
+        /** Frame to resume when this coroutine completes (nested). */
+        std::coroutine_handle<> continuation = nullptr;
+        /** Exception escaping the body, rethrown at the awaiter. */
+        std::exception_ptr exception = nullptr;
+
+        Task get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() const noexcept
+        {
+            return {};
+        }
+        FinalAwaiter final_suspend() const noexcept { return {}; }
+        void return_void() const noexcept {}
+        void unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+
+        /** Awaiting a Task runs it nested on the same thread. */
+        NestedAwaiter await_transform(Task &&t) noexcept
+        {
+            return NestedAwaiter{t.handle_, thread};
+        }
+        NestedAwaiter await_transform(Task &t) noexcept
+        {
+            return NestedAwaiter{t.handle_, thread};
+        }
+        /** Everything else (ThreadApi awaiters) passes through. */
+        template <typename A>
+        decltype(auto) await_transform(A &&a) const noexcept
+        {
+            return std::forward<A>(a);
+        }
+    };
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+    Handle handle() const { return handle_; }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_ = nullptr;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_SIM_TASK_HH

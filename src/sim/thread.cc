@@ -1,0 +1,88 @@
+#include "sim/thread.hh"
+
+#include "sim/thread_api.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+SimThread::SimThread(ThreadId id, std::string name, CoreId core,
+                     ProcessId pid)
+    : id_(id), name_(std::move(name)), core_(core), pid_(pid)
+{}
+
+void
+SimThread::installBody(std::function<Task(ThreadApi)> factory,
+                       const ThreadApi &api)
+{
+    // Move the closure to its final, stable home first; only then
+    // create the coroutine frame that points into it.
+    factory_ = std::move(factory);
+    program_ = factory_(api);
+    panic_if(!program_.valid(), "thread ", name_,
+             " body produced an invalid task");
+    auto h = program_.handle();
+    h.promise().thread = this;
+    current = h;
+    // Arm a zero-length spin so the scheduler's first step resumes
+    // the coroutine body.
+    pending = MemOp{MemOp::Kind::spin, 0, 0};
+}
+
+std::coroutine_handle<>
+Task::NestedAwaiter::await_suspend(std::coroutine_handle<> outer)
+    noexcept
+{
+    auto &ip = inner.promise();
+    ip.thread = thread;
+    ip.continuation = outer;
+    if (thread)
+        thread->current = inner;
+    // Symmetric transfer: start running the nested task immediately.
+    return inner;
+}
+
+void
+Task::NestedAwaiter::await_resume() const
+{
+    if (inner && inner.promise().exception)
+        std::rethrow_exception(inner.promise().exception);
+}
+
+std::coroutine_handle<>
+Task::FinalAwaiter::await_suspend(Task::Handle h) noexcept
+{
+    auto &p = h.promise();
+    if (p.continuation) {
+        // Nested task completed: resume the awaiting frame.
+        if (p.thread)
+            p.thread->current = p.continuation;
+        return p.continuation;
+    }
+    // Top-level task completed: park the thread.
+    if (p.thread) {
+        p.thread->finished = true;
+        p.thread->pending = MemOp{};
+        p.thread->current = nullptr;
+    }
+    return std::noop_coroutine();
+}
+
+const char *
+servedByName(ServedBy s)
+{
+    switch (s) {
+      case ServedBy::l1: return "L1";
+      case ServedBy::l2: return "L2";
+      case ServedBy::localLlc: return "local-LLC";
+      case ServedBy::localOwner: return "local-owner";
+      case ServedBy::remoteLlc: return "remote-LLC";
+      case ServedBy::remoteOwner: return "remote-owner";
+      case ServedBy::dram: return "DRAM";
+      case ServedBy::none: return "none";
+    }
+    return "?";
+}
+
+} // namespace csim

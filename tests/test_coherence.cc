@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Unit and property tests for the MESI directory protocol: state
+ * transitions, directory consistency, inclusion, cross-socket
+ * service paths, timing, the mitigation ablation and randomized
+ * invariant fuzzing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mem/memory_system.hh"
+
+namespace csim
+{
+namespace
+{
+
+/** Deterministic config: no jitter, no long tails, no contention. */
+SystemConfig
+quietConfig()
+{
+    SystemConfig cfg;
+    cfg.timing.jitterSd = 0.0;
+    cfg.timing.longTailProb = 0.0;
+    cfg.timing.contentionMean = 0.0;
+    cfg.timing.numaInterleave = false;
+    cfg.seed = 7;
+    return cfg;
+}
+
+constexpr PAddr lineB = 0x4000'0000;
+
+struct CoherenceTest : public ::testing::Test
+{
+    CoherenceTest() : mem(quietConfig()) {}
+
+    void
+    expectClean()
+    {
+        EXPECT_EQ(mem.checkInvariants(), "");
+    }
+
+    MemorySystem mem;
+};
+
+TEST_F(CoherenceTest, FirstLoadInstallsExclusive)
+{
+    const auto res = mem.load(0, lineB, 0);
+    EXPECT_EQ(res.servedBy, ServedBy::dram);
+    EXPECT_EQ(res.latency, mem.config().timing.dramLat());
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::exclusive);
+    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b1u);
+    EXPECT_TRUE(mem.llcHas(0, lineB));
+    EXPECT_EQ(mem.socketPresence(lineB), 0b1u);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, RepeatLoadHitsL1)
+{
+    mem.load(0, lineB, 0);
+    const auto res = mem.load(0, lineB, 500);
+    EXPECT_EQ(res.servedBy, ServedBy::l1);
+    EXPECT_EQ(res.latency, mem.config().timing.l1Hit);
+}
+
+TEST_F(CoherenceTest, SecondCoreReadForwardsFromOwner)
+{
+    mem.load(0, lineB, 0);
+    const auto res = mem.load(1, lineB, 500);
+    EXPECT_EQ(res.servedBy, ServedBy::localOwner);
+    EXPECT_EQ(res.latency, mem.config().timing.localExclLat());
+    // Both copies downgrade to S; directory shows two sharers.
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
+    EXPECT_EQ(mem.privateState(1, lineB), Mesi::shared);
+    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b11u);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, ThirdCoreReadServedByLlc)
+{
+    mem.load(0, lineB, 0);
+    mem.load(1, lineB, 500);
+    const auto res = mem.load(2, lineB, 1'000);
+    EXPECT_EQ(res.servedBy, ServedBy::localLlc);
+    EXPECT_EQ(res.latency, mem.config().timing.localSharedLat());
+    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b111u);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, RemoteReadOfExclusiveForwardsFromRemoteOwner)
+{
+    mem.load(0, lineB, 0);  // socket 0 core 0, E state
+    const auto res = mem.load(6, lineB, 500);  // socket 1 core
+    EXPECT_EQ(res.servedBy, ServedBy::remoteOwner);
+    EXPECT_EQ(res.latency, mem.config().timing.remoteExclLat());
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
+    EXPECT_EQ(mem.privateState(6, lineB), Mesi::shared);
+    // Both sockets now hold the line.
+    EXPECT_EQ(mem.socketPresence(lineB), 0b11u);
+    EXPECT_TRUE(mem.llcHas(1, lineB));
+    expectClean();
+}
+
+TEST_F(CoherenceTest, RemoteReadOfSharedServedByRemoteLlc)
+{
+    mem.load(0, lineB, 0);
+    mem.load(1, lineB, 500);  // now S with two local sharers
+    const auto res = mem.load(6, lineB, 1'000);
+    EXPECT_EQ(res.servedBy, ServedBy::remoteLlc);
+    EXPECT_EQ(res.latency, mem.config().timing.remoteSharedLat());
+    expectClean();
+}
+
+TEST_F(CoherenceTest, LoadAfterRemoteInstallIsSharedEverywhere)
+{
+    mem.load(0, lineB, 0);
+    mem.load(6, lineB, 500);
+    // A second core on socket 1 is served by its own (local) LLC.
+    const auto res = mem.load(7, lineB, 1'000);
+    EXPECT_EQ(res.servedBy, ServedBy::localLlc);
+    EXPECT_EQ(mem.privateState(7, lineB), Mesi::shared);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, FlushRemovesEveryCopy)
+{
+    mem.load(0, lineB, 0);
+    mem.load(1, lineB, 100);
+    mem.load(6, lineB, 200);
+    mem.flush(3, lineB, 300);
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.privateState(1, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.privateState(6, lineB), Mesi::invalid);
+    EXPECT_FALSE(mem.llcHas(0, lineB));
+    EXPECT_FALSE(mem.llcHas(1, lineB));
+    EXPECT_EQ(mem.socketPresence(lineB), 0u);
+    // Next load goes all the way to DRAM and is E again.
+    const auto res = mem.load(2, lineB, 400);
+    EXPECT_EQ(res.servedBy, ServedBy::dram);
+    EXPECT_EQ(mem.privateState(2, lineB), Mesi::exclusive);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, FlushOfDirtyLineCostsMore)
+{
+    const TimingParams &t = mem.config().timing;
+    mem.load(0, lineB, 0);
+    const auto clean_flush = mem.flush(0, lineB, 100);
+    EXPECT_EQ(clean_flush.latency, t.flushBase);
+    mem.load(0, lineB, 200);
+    mem.store(0, lineB, 300);  // E -> M
+    const auto dirty_flush = mem.flush(0, lineB, 400);
+    EXPECT_EQ(dirty_flush.latency,
+              t.flushBase + t.flushDirtyExtra);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, StoreOnExclusiveUpgradesSilently)
+{
+    mem.load(0, lineB, 0);
+    const auto before = mem.stats().upgrades;
+    mem.store(0, lineB, 100);
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::modified);
+    // Silent upgrade: no invalidation round counted.
+    EXPECT_EQ(mem.stats().upgrades, before);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, StoreOnSharedInvalidatesOtherCopies)
+{
+    mem.load(0, lineB, 0);
+    mem.load(1, lineB, 100);
+    mem.load(6, lineB, 200);
+    mem.store(0, lineB, 300);
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::modified);
+    EXPECT_EQ(mem.privateState(1, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.privateState(6, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b1u);
+    // The remote socket dropped its LLC copy entirely.
+    EXPECT_FALSE(mem.llcHas(1, lineB));
+    EXPECT_EQ(mem.socketPresence(lineB), 0b1u);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, StoreMissGainsOwnership)
+{
+    mem.load(1, lineB, 0);
+    mem.store(0, lineB, 100);  // write miss from another core
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::modified);
+    EXPECT_EQ(mem.privateState(1, lineB), Mesi::invalid);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, ReadOfModifiedForwardsAndWritesBack)
+{
+    mem.load(0, lineB, 0);
+    mem.store(0, lineB, 100);  // M at core 0
+    const auto before = mem.stats().writebacks;
+    const auto res = mem.load(1, lineB, 200);
+    EXPECT_EQ(res.servedBy, ServedBy::localOwner);
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
+    EXPECT_EQ(mem.privateState(1, lineB), Mesi::shared);
+    EXPECT_GT(mem.stats().writebacks, before);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, RemoteReadOfModifiedForwards)
+{
+    mem.load(0, lineB, 0);
+    mem.store(0, lineB, 100);
+    const auto res = mem.load(6, lineB, 200);
+    EXPECT_EQ(res.servedBy, ServedBy::remoteOwner);
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, PrivateEvictionNotifiesDirectory)
+{
+    // Fill core 0's L2 set of lineB with conflicting lines until
+    // lineB is evicted; the directory bit must clear so later reads
+    // are served by the LLC, not forwarded.
+    mem.load(0, lineB, 0);
+    const unsigned l2_sets = mem.config().l2.numSets();
+    const unsigned assoc = mem.config().l2.assoc;
+    for (unsigned i = 1; i <= assoc; ++i) {
+        mem.load(0, lineB + static_cast<PAddr>(i) * l2_sets * 64,
+                 i * 1'000);
+    }
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0u);
+    EXPECT_TRUE(mem.llcHas(0, lineB));
+    const auto res = mem.load(1, lineB, 100'000);
+    EXPECT_EQ(res.servedBy, ServedBy::localLlc);
+    expectClean();
+}
+
+TEST_F(CoherenceTest, DirtyPrivateEvictionWritesBackToLlc)
+{
+    mem.load(0, lineB, 0);
+    mem.store(0, lineB, 10);
+    const auto before = mem.stats().writebacks;
+    const unsigned l2_sets = mem.config().l2.numSets();
+    const unsigned assoc = mem.config().l2.assoc;
+    for (unsigned i = 1; i <= assoc; ++i) {
+        mem.load(0, lineB + static_cast<PAddr>(i) * l2_sets * 64,
+                 i * 1'000);
+    }
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_GT(mem.stats().writebacks, before);
+    expectClean();
+}
+
+TEST(CoherenceSmallLlc, LlcEvictionBackInvalidatesPrivates)
+{
+    // Tiny LLC so evictions are easy to force. L2 must still fit.
+    SystemConfig cfg = quietConfig();
+    cfg.l1 = CacheGeometry{2 * 1024, 2};
+    cfg.l2 = CacheGeometry{4 * 1024, 2};
+    cfg.llc = CacheGeometry{8 * 1024, 2};  // 64 sets
+    MemorySystem mem(cfg);
+    const unsigned llc_sets = cfg.llc.numSets();
+    mem.load(0, lineB, 0);
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::exclusive);
+    // Two conflicting LLC lines from another core displace lineB.
+    mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 64, 1'000);
+    mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 2 * 64,
+             2'000);
+    EXPECT_FALSE(mem.llcHas(0, lineB));
+    // Inclusive hierarchy: the private copy was back-invalidated.
+    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_GT(mem.stats().backInvalidations, 0u);
+    EXPECT_EQ(mem.checkInvariants(), "");
+}
+
+TEST_F(CoherenceTest, MitigationServesExclusiveFromLlc)
+{
+    // Paper §VIII-E technique 3: with E->M notification the LLC can
+    // serve E-state reads directly, collapsing the E and S bands.
+    SystemConfig cfg = quietConfig();
+    cfg.timing.llcNotifiedOfUpgrade = true;
+    MemorySystem m(cfg);
+    m.load(0, lineB, 0);  // E at core 0
+    const auto res = m.load(1, lineB, 500);
+    EXPECT_EQ(res.servedBy, ServedBy::localLlc);
+    EXPECT_EQ(res.latency, cfg.timing.localSharedLat());
+    EXPECT_EQ(m.privateState(0, lineB), Mesi::shared);
+    EXPECT_EQ(m.checkInvariants(), "");
+}
+
+TEST_F(CoherenceTest, MitigationStillForwardsModified)
+{
+    SystemConfig cfg = quietConfig();
+    cfg.timing.llcNotifiedOfUpgrade = true;
+    MemorySystem m(cfg);
+    m.load(0, lineB, 0);
+    m.store(0, lineB, 100);  // notifies the LLC
+    const auto res = m.load(1, lineB, 500);
+    EXPECT_EQ(res.servedBy, ServedBy::localOwner);
+    EXPECT_EQ(m.checkInvariants(), "");
+}
+
+TEST_F(CoherenceTest, NumaRemoteHomeCostsExtra)
+{
+    SystemConfig cfg = quietConfig();
+    cfg.timing.numaInterleave = true;
+    MemorySystem m(cfg);
+    // Consecutive lines alternate home sockets.
+    const PAddr even_line = 0x10000 * 64;  // home socket 0
+    const PAddr odd_line = even_line + 64; // home socket 1
+    const auto local_home = m.load(0, even_line, 0);
+    const auto remote_home = m.load(0, odd_line, 10'000);
+    EXPECT_EQ(local_home.servedBy, ServedBy::dram);
+    EXPECT_EQ(remote_home.servedBy, ServedBy::dram);
+    EXPECT_EQ(remote_home.latency - local_home.latency,
+              cfg.timing.numaRemoteExtra);
+}
+
+TEST_F(CoherenceTest, ContentionQueuesSerializeAccesses)
+{
+    // Two same-tick DRAM accesses from different cores: the second
+    // queues behind the first on the DRAM channel.
+    const auto a = mem.load(0, lineB, 1'000);
+    const auto b = mem.load(6, lineB + 4096 * 64, 1'000);
+    EXPECT_EQ(a.latency, mem.config().timing.dramLat());
+    EXPECT_GT(b.latency, mem.config().timing.dramLat());
+    EXPECT_GT(mem.stats().queueWaitCycles, 0u);
+}
+
+TEST_F(CoherenceTest, StatsAccumulate)
+{
+    mem.load(0, lineB, 0);
+    mem.load(0, lineB, 100);
+    mem.load(1, lineB, 200);
+    mem.store(1, lineB, 300);
+    mem.flush(0, lineB, 400);
+    const MemStats &s = mem.stats();
+    EXPECT_EQ(s.loads, 3u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.flushes, 1u);
+    EXPECT_EQ(s.l1Hits, 1u);
+    EXPECT_EQ(s.dramAccesses, 1u);
+    EXPECT_EQ(s.localOwnerForwards, 1u);
+    EXPECT_EQ(s.upgrades, 1u);
+}
+
+TEST_F(CoherenceTest, JitterStaysWithinConfiguredSpread)
+{
+    SystemConfig cfg = quietConfig();
+    cfg.timing.jitterSd = 4.0;
+    MemorySystem m(cfg);
+    const Tick base = cfg.timing.dramLat();
+    for (int i = 0; i < 300; ++i) {
+        const PAddr addr = lineB + static_cast<PAddr>(i) * 64;
+        const auto res = m.load(0, addr, i * 10'000);
+        EXPECT_GE(res.latency + 10, base);
+        EXPECT_LE(res.latency, base + 40);
+    }
+}
+
+TEST_F(CoherenceTest, RequestDuringFillCoalesces)
+{
+    // MSHR behaviour: a second core's request arriving while the
+    // line's DRAM fill is in flight waits for the fill instead of
+    // observing a crisp band.
+    const auto first = mem.load(0, lineB, 1'000);
+    ASSERT_EQ(first.servedBy, ServedBy::dram);
+    const Tick fill_done = 1'000 + first.latency;
+    const auto early = mem.load(1, lineB, 1'100);
+    EXPECT_GE(1'100 + early.latency,
+              fill_done + mem.config().timing.localExclLat());
+    // A request after the fill completes sees the normal path.
+    mem.flush(0, lineB, 50'000);
+    mem.load(0, lineB, 51'000);
+    const auto late = mem.load(1, lineB, 60'000);
+    EXPECT_EQ(late.latency, mem.config().timing.localExclLat());
+    expectClean();
+}
+
+TEST_F(CoherenceTest, RemoteFillAlsoCoalesces)
+{
+    mem.load(0, lineB, 1'000);           // E on socket 0
+    const auto fetch = mem.load(6, lineB, 10'000);  // remote fetch
+    ASSERT_EQ(fetch.servedBy, ServedBy::remoteOwner);
+    const Tick fill_done = 10'000 + fetch.latency;
+    // Another socket-1 core probes while the install is in flight.
+    const auto early = mem.load(7, lineB, 10'050);
+    EXPECT_GE(10'050 + early.latency, fill_done);
+    expectClean();
+}
+
+/** Property test: random op sequences keep every invariant. */
+class CoherenceFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CoherenceFuzz, InvariantsHoldUnderRandomOps)
+{
+    SystemConfig cfg = quietConfig();
+    // Small caches exercise evictions and back-invalidations.
+    cfg.l1 = CacheGeometry{1024, 2};
+    cfg.l2 = CacheGeometry{2 * 1024, 2};
+    cfg.llc = CacheGeometry{4 * 1024, 4};
+    cfg.seed = static_cast<std::uint64_t>(GetParam());
+    MemorySystem mem(cfg);
+    Rng rng(cfg.seed * 977 + 3);
+
+    const int pool = 48;  // distinct lines, conflicting heavily
+    Tick now = 0;
+    for (int i = 0; i < 4'000; ++i) {
+        const CoreId core =
+            static_cast<CoreId>(rng.below(cfg.numCores()));
+        const PAddr addr =
+            lineB + rng.below(pool) * 64;
+        now += rng.below(200);
+        const auto pick = rng.below(10);
+        if (pick < 6)
+            mem.load(core, addr, now);
+        else if (pick < 9)
+            mem.store(core, addr, now);
+        else
+            mem.flush(core, addr, now);
+        if (i % 50 == 0) {
+            const std::string err = mem.checkInvariants();
+            ASSERT_EQ(err, "") << "after op " << i;
+        }
+    }
+    EXPECT_EQ(mem.checkInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceFuzz,
+                         ::testing::Range(1, 9));
+
+/** Parameterized check of all four combo service paths' latency. */
+struct PathCase
+{
+    const char *name;
+    ServedBy served;
+};
+
+class ServicePathLatency
+    : public ::testing::TestWithParam<std::tuple<int>>
+{};
+
+TEST(ServicePaths, AllFourCombosDistinctAndOrdered)
+{
+    SystemConfig cfg = quietConfig();
+    const TimingParams &t = cfg.timing;
+    EXPECT_LT(t.localSharedLat(), t.localExclLat());
+    EXPECT_LT(t.localExclLat(), t.remoteSharedLat());
+    EXPECT_LT(t.remoteSharedLat(), t.remoteExclLat());
+    EXPECT_LT(t.remoteExclLat(), t.dramLat());
+}
+
+} // namespace
+} // namespace csim

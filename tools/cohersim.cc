@@ -1,0 +1,369 @@
+/**
+ * @file
+ * cohersim — command-line driver for the CoherSim library.
+ *
+ * Subcommands:
+ *   info       print the simulated machine and Table I scenarios
+ *   calibrate  measure the (location, coherence state) latency bands
+ *   transmit   run one covert transmission and print the result
+ *   sweep      accuracy vs transmission rate for one scenario
+ *   ecc        run an error-corrected (parity + NACK) session
+ *   symbols    run the 2-bit-symbol channel
+ *
+ * Run `cohersim <subcommand> --help` for the options of each.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hh"
+#include "channel/ecc.hh"
+#include "channel/symbols.hh"
+#include "common/table_printer.hh"
+
+namespace
+{
+
+using namespace csim;
+
+/** Minimal flag parser: --key value pairs after the subcommand. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                std::cerr << "unexpected argument: " << key << "\n";
+                std::exit(2);
+            }
+            key = key.substr(2);
+            if (key == "help") {
+                help = true;
+                continue;
+            }
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for --" << key << "\n";
+                std::exit(2);
+            }
+            values_[key] = argv[++i];
+        }
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    long
+    num(const std::string &key, long fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::stol(it->second);
+    }
+
+    bool help = false;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+Scenario
+parseScenario(const std::string &name)
+{
+    for (const ScenarioInfo &sc : allScenarios()) {
+        if (name == sc.notation)
+            return sc.id;
+    }
+    // Also accept the row number (1..6).
+    const int row = std::atoi(name.c_str());
+    if (row >= 1 && row <= numScenarios)
+        return allScenarios()[static_cast<std::size_t>(row - 1)].id;
+    std::cerr << "unknown scenario '" << name
+              << "'; use a Table I notation (e.g. RExclc-LSharedb) "
+                 "or a row number 1-6\n";
+    std::exit(2);
+}
+
+SystemConfig
+parseSystem(const Args &args)
+{
+    SystemConfig sys;
+    sys.seed = static_cast<std::uint64_t>(args.num("seed", 2018));
+    const std::string flavor = args.str("flavor", "mesi");
+    if (flavor == "mesi")
+        sys.flavor = CoherenceFlavor::mesi;
+    else if (flavor == "mesif")
+        sys.flavor = CoherenceFlavor::mesif;
+    else if (flavor == "moesi")
+        sys.flavor = CoherenceFlavor::moesi;
+    else {
+        std::cerr << "unknown --flavor " << flavor << "\n";
+        std::exit(2);
+    }
+    const std::string lookup = args.str("lookup", "directory");
+    if (lookup == "directory")
+        sys.lookup = CoherenceLookup::directory;
+    else if (lookup == "snoop")
+        sys.lookup = CoherenceLookup::snoop;
+    else {
+        std::cerr << "unknown --lookup " << lookup << "\n";
+        std::exit(2);
+    }
+    return sys;
+}
+
+ChannelConfig
+parseChannel(const Args &args)
+{
+    ChannelConfig cfg;
+    cfg.system = parseSystem(args);
+    cfg.scenario =
+        parseScenario(args.str("scenario", "RExclc-LSharedb"));
+    cfg.noiseThreads = static_cast<int>(args.num("noise", 0));
+    const std::string sharing = args.str("sharing", "explicit");
+    if (sharing == "explicit")
+        cfg.sharing = SharingMode::explicitShared;
+    else if (sharing == "ksm")
+        cfg.sharing = SharingMode::ksm;
+    else {
+        std::cerr << "unknown --sharing " << sharing << "\n";
+        std::exit(2);
+    }
+    const long rate = args.num("rate", 0);
+    if (rate > 0) {
+        cfg.params = ChannelParams::forTargetKbps(
+            static_cast<double>(rate), cfg.system.timing);
+    }
+    return cfg;
+}
+
+int
+cmdInfo(const Args &)
+{
+    SystemConfig sys;
+    std::cout << "Simulated machine (defaults):\n"
+              << "  " << sys.sockets << " sockets x "
+              << sys.coresPerSocket << " cores @ "
+              << sys.timing.clockGhz << " GHz\n"
+              << "  L1 " << sys.l1.sizeBytes / 1024 << " KiB, L2 "
+              << sys.l2.sizeBytes / 1024 << " KiB private; LLC "
+              << sys.llc.sizeBytes / (1024 * 1024)
+              << " MiB shared inclusive\n"
+              << "  protocol " << coherenceFlavorName(sys.flavor)
+              << " / " << coherenceLookupName(sys.lookup) << "\n\n";
+    TablePrinter table;
+    table.header({"row", "scenario", "CSc", "CSb", "trojan threads"});
+    int row = 1;
+    for (const ScenarioInfo &sc : allScenarios()) {
+        table.row({std::to_string(row++), sc.notation,
+                   comboName(sc.csc), comboName(sc.csb),
+                   std::to_string(sc.localLoaders) + " local + " +
+                       std::to_string(sc.remoteLoaders) +
+                       " remote"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCalibrate(const Args &args)
+{
+    if (args.help) {
+        std::cout << "cohersim calibrate [--samples N] [--seed S] "
+                     "[--flavor mesi|mesif|moesi] "
+                     "[--lookup directory|snoop]\n";
+        return 0;
+    }
+    const SystemConfig sys = parseSystem(args);
+    const int samples = static_cast<int>(args.num("samples", 1000));
+    const CalibrationResult cal = calibrate(sys, samples);
+    TablePrinter table;
+    table.header({"combination", "mean", "p1", "p99", "band"});
+    auto row = [&](const std::string &name, const SampleSet &s,
+                   const LatencyBand &b) {
+        table.row({name, TablePrinter::num(s.mean()),
+                   TablePrinter::num(s.percentile(1)),
+                   TablePrinter::num(s.percentile(99)),
+                   "[" + TablePrinter::num(b.lo) + ", " +
+                       TablePrinter::num(b.hi) + "]"});
+    };
+    for (Combo c : allCombos()) {
+        if (cal.comboSamples(c).count())
+            row(comboName(c), cal.comboSamples(c), cal.band(c));
+    }
+    row("DRAM", cal.dramSamples, cal.dramBand);
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTransmit(const Args &args)
+{
+    if (args.help) {
+        std::cout
+            << "cohersim transmit [--message TEXT] [--bits N] "
+               "[--scenario NAME|ROW] [--rate KBPS] "
+               "[--sharing explicit|ksm] [--noise N] [--seed S]\n";
+        return 0;
+    }
+    ChannelConfig cfg = parseChannel(args);
+    const std::string message =
+        args.str("message", "COHERENCE STATES LEAK");
+    BitString payload;
+    const long bits = args.num("bits", 0);
+    if (bits > 0) {
+        Rng rng(cfg.system.seed + 1);
+        payload = randomBits(rng, static_cast<std::size_t>(bits));
+    } else {
+        payload = textToBits(message);
+    }
+    const ChannelReport rep = runCovertTransmission(cfg, payload);
+    std::cout << "scenario:  " << scenarioInfo(cfg.scenario).notation
+              << " over " << sharingModeName(cfg.sharing)
+              << " sharing, " << cfg.noiseThreads
+              << " noise thread(s)\n";
+    if (bits <= 0)
+        std::cout << "received:  \"" << bitsToText(rep.received)
+                  << "\"\n";
+    std::cout << "accuracy:  "
+              << TablePrinter::pct(rep.metrics.accuracy) << "\n"
+              << "rate:      "
+              << TablePrinter::num(rep.metrics.rawKbps)
+              << " Kbps\n"
+              << "completed: " << (rep.completed ? "yes" : "NO")
+              << "\n";
+    return rep.completed ? 0 : 1;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    if (args.help) {
+        std::cout << "cohersim sweep [--scenario NAME|ROW] "
+                     "[--bits N] [--from KBPS] [--to KBPS] "
+                     "[--step KBPS] [--noise N] [--seed S]\n";
+        return 0;
+    }
+    ChannelConfig cfg = parseChannel(args);
+    const long from = args.num("from", 100);
+    const long to = args.num("to", 1000);
+    const long step = args.num("step", 100);
+    Rng rng(cfg.system.seed + 2);
+    const BitString payload =
+        randomBits(rng, static_cast<std::size_t>(
+                            args.num("bits", 300)));
+    const CalibrationResult cal = calibrate(cfg.system, 400);
+    TablePrinter table;
+    table.header({"target Kbps", "measured Kbps", "accuracy"});
+    for (long rate = from; rate <= to; rate += step) {
+        cfg.params = ChannelParams::forTargetKbps(
+            static_cast<double>(rate), cfg.system.timing);
+        const ChannelReport rep =
+            runCovertTransmission(cfg, payload, &cal);
+        table.row({std::to_string(rate),
+                   TablePrinter::num(rep.metrics.rawKbps),
+                   TablePrinter::pct(rep.metrics.accuracy)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdEcc(const Args &args)
+{
+    if (args.help) {
+        std::cout << "cohersim ecc [--message TEXT] "
+                     "[--scenario NAME|ROW] [--rate KBPS] "
+                     "[--noise N] [--seed S]\n";
+        return 0;
+    }
+    ChannelConfig cfg = parseChannel(args);
+    const std::string message =
+        args.str("message", "GUARANTEED DELIVERY");
+    const EccReport rep =
+        runEccTransmission(cfg, textToBits(message));
+    std::cout << "packets:          " << rep.packets << "\n"
+              << "retransmissions:  " << rep.retransmissions << "\n"
+              << "residual errors:  " << rep.residualErrors << "\n"
+              << "effective rate:   "
+              << TablePrinter::num(rep.effectiveKbps) << " Kbps\n"
+              << "delivered:        \""
+              << bitsToText(rep.delivered) << "\"\n";
+    return rep.residualErrors == 0 ? 0 : 1;
+}
+
+int
+cmdSymbols(const Args &args)
+{
+    if (args.help) {
+        std::cout << "cohersim symbols [--message TEXT] "
+                     "[--rate KBPS] [--noise N] [--seed S]\n";
+        return 0;
+    }
+    ChannelConfig cfg = parseChannel(args);
+    const std::string message = args.str("message", "2 BITS EACH");
+    const SymbolReport rep =
+        runSymbolTransmission(cfg, textToBits(message));
+    std::cout << "symbols sent:     " << rep.sentSymbols.size()
+              << "\n"
+              << "symbols received: " << rep.receivedSymbols.size()
+              << "\n"
+              << "decoded:          \"" << bitsToText(rep.received)
+              << "\"\n"
+              << "accuracy:         "
+              << TablePrinter::pct(rep.metrics.accuracy) << "\n"
+              << "rate:             "
+              << TablePrinter::num(rep.metrics.rawKbps)
+              << " Kbps\n";
+    return rep.metrics.accuracy > 0.9 ? 0 : 1;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: cohersim <subcommand> [--options]\n\n"
+           "subcommands:\n"
+           "  info       machine configuration and Table I\n"
+           "  calibrate  measure the latency bands (paper Fig. 2)\n"
+           "  transmit   run one covert transmission\n"
+           "  sweep      accuracy vs transmission rate\n"
+           "  ecc        parity + NACK retransmission session\n"
+           "  symbols    2-bit-symbol channel\n\n"
+           "run `cohersim <subcommand> --help` for options\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "info")
+        return cmdInfo(args);
+    if (cmd == "calibrate")
+        return cmdCalibrate(args);
+    if (cmd == "transmit")
+        return cmdTransmit(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "ecc")
+        return cmdEcc(args);
+    if (cmd == "symbols")
+        return cmdSymbols(args);
+    usage();
+    return 2;
+}
