@@ -5,17 +5,26 @@
  * under snoop-based lookup and under the MESIF/MOESI protocol
  * flavors, because the E-vs-S service-path asymmetry exists in all
  * of them.
+ *
+ * Each protocol variant (two calibrations + two transmissions) is one
+ * job on the parallel sweep runner (`--jobs N`); results land in
+ * BENCH_ablation_protocols.json.
  */
 
 #include <iostream>
 
 #include "channel/channel.hh"
 #include "common/table_printer.hh"
+#include "runner/json_sink.hh"
+#include "runner/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace csim;
+
+    RunnerOptions opts = RunnerOptions::fromArgs(argc, argv);
+    opts.label = "ablation_protocols";
 
     struct Variant
     {
@@ -24,7 +33,7 @@ main()
         CoherenceLookup lookup;
         bool inclusive = true;
     };
-    const Variant variants[] = {
+    const std::vector<Variant> variants = {
         {"MESI / directory (baseline)", CoherenceFlavor::mesi,
          CoherenceLookup::directory},
         {"MESIF / directory (Intel)", CoherenceFlavor::mesif,
@@ -44,40 +53,79 @@ main()
 
     std::cout << "== Protocol ablation: the channel is "
                  "protocol-agnostic (paper Section VIII-E) ==\n\n";
+
+    struct Result
+    {
+        LatencyBand lexc;
+        LatencyBand lsh;
+        double slowAccuracy = 0.0;
+        double fastAccuracy = 0.0;
+    };
+    std::vector<std::function<Result()>> jobs;
+    for (const Variant &v : variants) {
+        jobs.push_back([&payload, v] {
+            ChannelConfig cfg;
+            cfg.system.seed = 2018;
+            cfg.system.flavor = v.flavor;
+            cfg.system.lookup = v.lookup;
+            cfg.system.llcInclusive = v.inclusive;
+            cfg.scenario = Scenario::lexcC_lshB;
+            cfg.timeout = cfg.deriveTimeout(payload.size());
+            const CalibrationResult cal =
+                calibrate(cfg.system, 300, cfg.params);
+            const ChannelReport slow =
+                runCovertTransmission(cfg, payload, &cal);
+            cfg.params = ChannelParams::forTargetKbps(
+                500, cfg.system.timing);
+            cfg.timeout = cfg.deriveTimeout(payload.size());
+            const CalibrationResult cal_fast =
+                calibrate(cfg.system, 300, cfg.params);
+            const ChannelReport fast =
+                runCovertTransmission(cfg, payload, &cal_fast);
+            return Result{cal.band(Combo::localExcl),
+                          cal.band(Combo::localShared),
+                          slow.metrics.accuracy,
+                          fast.metrics.accuracy};
+        });
+    }
+
+    double wall = 0.0;
+    const std::vector<Result> results =
+        runJobs(std::move(jobs), opts, &wall);
+
     TablePrinter table;
     table.header({"protocol", "LExcl band", "LShared band",
                   "accuracy @150K", "accuracy @500K"});
-    for (const Variant &v : variants) {
-        ChannelConfig cfg;
-        cfg.system.seed = 2018;
-        cfg.system.flavor = v.flavor;
-        cfg.system.lookup = v.lookup;
-        cfg.system.llcInclusive = v.inclusive;
-        cfg.scenario = Scenario::lexcC_lshB;
-        const CalibrationResult cal =
-            calibrate(cfg.system, 300, cfg.params);
-        const ChannelReport slow =
-            runCovertTransmission(cfg, payload, &cal);
-        cfg.params = ChannelParams::forTargetKbps(
-            500, cfg.system.timing);
-        const CalibrationResult cal_fast =
-            calibrate(cfg.system, 300, cfg.params);
-        const ChannelReport fast =
-            runCovertTransmission(cfg, payload, &cal_fast);
-        const auto &le = cal.band(Combo::localExcl);
-        const auto &ls = cal.band(Combo::localShared);
+    Json artifact = benchArtifact("ablation_protocols",
+                                  opts.resolvedJobs(), wall);
+    Json &rows = artifact["rows"];
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const Result &r = results[i];
         table.row(
-            {v.name,
-             "[" + TablePrinter::num(le.lo, 0) + "," +
-                 TablePrinter::num(le.hi, 0) + "]",
-             "[" + TablePrinter::num(ls.lo, 0) + "," +
-                 TablePrinter::num(ls.hi, 0) + "]",
-             TablePrinter::pct(slow.metrics.accuracy),
-             TablePrinter::pct(fast.metrics.accuracy)});
-        std::cout << "." << std::flush;
+            {variants[i].name,
+             "[" + TablePrinter::num(r.lexc.lo, 0) + "," +
+                 TablePrinter::num(r.lexc.hi, 0) + "]",
+             "[" + TablePrinter::num(r.lsh.lo, 0) + "," +
+                 TablePrinter::num(r.lsh.hi, 0) + "]",
+             TablePrinter::pct(r.slowAccuracy),
+             TablePrinter::pct(r.fastAccuracy)});
+        Json row = Json::object();
+        row["protocol"] = variants[i].name;
+        row["lexcl_lo"] = r.lexc.lo;
+        row["lexcl_hi"] = r.lexc.hi;
+        row["lshared_lo"] = r.lsh.lo;
+        row["lshared_hi"] = r.lsh.hi;
+        row["accuracy_150k"] = r.slowAccuracy;
+        row["accuracy_500k"] = r.fastAccuracy;
+        rows.push(std::move(row));
     }
-    std::cout << "\n\n";
     table.print(std::cout);
+    writeJsonFile("BENCH_ablation_protocols.json", artifact);
+    std::cout << "\n[" << results.size() << " variants, "
+              << TablePrinter::num(wall, 2) << "s wall on "
+              << opts.resolvedJobs()
+              << " worker(s); BENCH_ablation_protocols.json "
+                 "written]\n";
     std::cout
         << "\nPaper: 'our findings extend to different classes of "
            "protocols' — snoop protocols serve E-state reads from "

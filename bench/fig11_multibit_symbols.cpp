@@ -20,13 +20,13 @@ main()
 
     ChannelConfig cfg;
     cfg.system.seed = 2018;
-    cfg.timeout = 120'000'000;
     cfg.collectTrace = true;
     const CalibrationResult cal = calibrate(cfg.system, 400);
 
     // The paper's magnified example: 100101000110011011 covers all
     // four symbol values.
     const BitString example = bitsFromString("100101000110011011");
+    cfg.timeout = cfg.deriveTimeout(example.size());
     std::cout << "== Figure 11: 2-bit symbol transmission ==\n\n";
     std::cout << "first 18 bits sent:  " << bitsToString(example)
               << "\n";
@@ -63,6 +63,7 @@ main()
         cfg.params.ts = ts;
         cfg.params.helperGap = std::clamp<Tick>(ts / 3, 40, 150);
         cfg.params.pollInterval = std::clamp<Tick>(ts / 4, 30, 100);
+        cfg.timeout = cfg.deriveTimeout(payload.size());
         const ChannelReport bin =
             runCovertTransmission(cfg, payload, &cal);
         const SymbolReport sym =

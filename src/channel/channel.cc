@@ -6,6 +6,24 @@
 namespace csim
 {
 
+Tick
+ChannelConfig::deriveTimeout(std::size_t payload_bits,
+                             double margin) const
+{
+    const auto period =
+        static_cast<double>(params.nominalSamplePeriod(system.timing));
+    // Payload bits plus the leading/trailing boundary phases, then
+    // the end-of-reception marker run (N out-of-band samples).
+    const double expected =
+        (static_cast<double>(payload_bits) + 2.0) *
+            params.samplesPerBit() * period +
+        (params.endN + 1) * period;
+    // Fixed slack for startup costs outside the bit clock: KSM merge
+    // attempts, copy-on-write faults, calibration warm-up loads.
+    constexpr Tick startupSlack = 2'000'000;
+    return static_cast<Tick>(margin * expected) + startupSlack;
+}
+
 CorePlan
 CorePlan::standard(const SystemConfig &sys)
 {

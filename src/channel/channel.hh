@@ -9,6 +9,7 @@
 #ifndef COHERSIM_CHANNEL_CHANNEL_HH
 #define COHERSIM_CHANNEL_CHANNEL_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -41,6 +42,19 @@ struct ChannelConfig
     bool collectTrace = false;
     /** Safety stop, in cycles (~300 ms of simulated time). */
     Tick timeout = 800'000'000ULL;
+
+    /**
+     * Safety timeout derived from the payload length and the
+     * configured protocol timing, replacing per-bench magic
+     * constants: the expected transmission time (payload plus
+     * delimiters and the end-marker run, at the params' nominal
+     * sample period) times @p margin, plus a fixed startup slack.
+     * Dead operating points (the spy never locks on) then stop soon
+     * after a live run would have finished instead of polling out a
+     * one-size-fits-all constant.
+     */
+    Tick deriveTimeout(std::size_t payload_bits,
+                       double margin = 10.0) const;
 };
 
 /** Everything one transmission produced. */

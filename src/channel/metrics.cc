@@ -15,6 +15,9 @@ computeMetrics(const BitString &sent, const BitString &received,
     m.accuracy = rawBitAccuracy(sent, received);
     m.durationCycles = tx_end > tx_start ? tx_end - tx_start : 0;
     m.rawKbps = timing.kbps(m.bitsSent, m.durationCycles);
+    // accuracy * bitsSent is the edit-distance count of correctly
+    // received bits, so this rate reflects what the spy actually got.
+    m.effectiveKbps = m.rawKbps * m.accuracy;
     return m;
 }
 

@@ -28,6 +28,12 @@ struct ChannelMetrics
     Tick durationCycles = 0;
     /** Raw transmitted bits per second, in Kbits/s. */
     double rawKbps = 0.0;
+    /**
+     * Correctly received bits per second, in Kbits/s: rawKbps scaled
+     * by the edit-distance accuracy, so a spy that decodes fewer (or
+     * garbled) bits is not credited with the transmit-side rate.
+     */
+    double effectiveKbps = 0.0;
 };
 
 /** Compute metrics for a completed transmission. */

@@ -3,7 +3,9 @@
  * Umbrella header: everything a downstream user of CoherSim needs.
  *
  * The layering is strict — common <- sim <- mem <- os <- channel —
- * and each sub-header can also be included individually.
+ * and each sub-header can also be included individually. The runner
+ * layer (host-parallel sweep execution) depends only on common and
+ * drives any of the layers above from host threads.
  */
 
 #ifndef COHERSIM_COHERSIM_HH
@@ -40,6 +42,11 @@
 
 // Defences.
 #include "detect/cchunter.hh"
+
+// Host-parallel experiment runner.
+#include "runner/json_sink.hh"
+#include "runner/runner.hh"
+#include "runner/thread_pool.hh"
 
 // The covert-channel stack.
 #include "channel/calibration.hh"

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace csim
@@ -9,13 +10,31 @@ namespace csim
 namespace logging_detail
 {
 
-bool quiet = false;
+std::atomic<bool> quiet{false};
+
+namespace
+{
+/**
+ * Serializes every sink write: the simulator is embeddable
+ * many-per-process (parallel sweep runner), and interleaved partial
+ * lines from concurrent Machines would be unreadable.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+} // namespace
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lk(sinkMutex());
+        std::cerr << "panic: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     // Throw instead of abort() so gtest death-free tests can verify
     // invariant checks fire; uncaught it still terminates the process.
     throw std::logic_error("panic: " + msg);
@@ -24,23 +43,30 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lk(sinkMutex());
+        std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     throw std::runtime_error("fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet)
+    if (!quiet.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lk(sinkMutex());
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet)
+    if (!quiet.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lk(sinkMutex());
         std::cout << "info: " << msg << std::endl;
+    }
 }
 
 } // namespace logging_detail

@@ -10,6 +10,7 @@
 #ifndef COHERSIM_COMMON_LOGGING_HH
 #define COHERSIM_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -26,8 +27,13 @@ namespace logging_detail
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
-/** When true, warn()/inform() are suppressed (quiet benches). */
-extern bool quiet;
+/**
+ * When true, warn()/inform() are suppressed (quiet benches). Atomic
+ * so runner worker threads may consult it while another thread (e.g.
+ * a bench main) toggles it; the sinks themselves serialize writes so
+ * concurrent simulations never interleave mid-line.
+ */
+extern std::atomic<bool> quiet;
 } // namespace logging_detail
 
 /** Build a message from stream-style arguments. */

@@ -44,7 +44,11 @@ SampleSet::stddev() const
     double acc = 0.0;
     for (double v : samples_)
         acc += (v - m) * (v - m);
-    return std::sqrt(acc / samples_.size());
+    // Bessel-corrected (N-1) sample estimator: these are always
+    // samples drawn from the latency distribution, never the whole
+    // population, and the population divisor understates the
+    // calibration band sigma.
+    return std::sqrt(acc / (samples_.size() - 1));
 }
 
 double

@@ -32,7 +32,10 @@ class SampleSet
     /** Arithmetic mean; 0 if empty. */
     double mean() const;
 
-    /** Population standard deviation; 0 if fewer than 2 samples. */
+    /**
+     * Sample standard deviation (Bessel-corrected, N-1 divisor);
+     * 0 if fewer than 2 samples.
+     */
     double stddev() const;
 
     double min() const;

@@ -1,0 +1,175 @@
+#include "runner/json_sink.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::array;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    panic_if(kind_ != Kind::object,
+             "Json::operator[] on a non-object value");
+    for (auto &[k, v] : obj_) {
+        if (k == key)
+            return v;
+    }
+    obj_.emplace_back(key, Json());
+    return obj_.back().second;
+}
+
+void
+Json::push(Json v)
+{
+    panic_if(kind_ != Kind::array, "Json::push on a non-array value");
+    arr_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::array)
+        return arr_.size();
+    if (kind_ == Kind::object)
+        return obj_.size();
+    return 0;
+}
+
+void
+Json::escape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string pad1(static_cast<std::size_t>(indent + 1) * 2,
+                           ' ');
+    switch (kind_) {
+      case Kind::null:
+        os << "null";
+        break;
+      case Kind::boolean:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::integer:
+        os << int_;
+        break;
+      case Kind::number:
+        if (std::isfinite(num_)) {
+            std::ostringstream tmp;
+            tmp.precision(std::numeric_limits<double>::max_digits10);
+            tmp << num_;
+            os << tmp.str();
+        } else {
+            os << "null";  // JSON has no NaN/Inf
+        }
+        break;
+      case Kind::string:
+        escape(os, str_);
+        break;
+      case Kind::array:
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            os << pad1;
+            arr_[i].dump(os, indent + 1);
+            os << (i + 1 < arr_.size() ? ",\n" : "\n");
+        }
+        os << pad << ']';
+        break;
+      case Kind::object:
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            os << pad1;
+            escape(os, obj_[i].first);
+            os << ": ";
+            obj_[i].second.dump(os, indent + 1);
+            os << (i + 1 < obj_.size() ? ",\n" : "\n");
+        }
+        os << pad << '}';
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream os;
+    dump(os, 0);
+    return os.str();
+}
+
+void
+writeJsonFile(const std::string &path, const Json &root)
+{
+    std::ofstream out(path, std::ios::trunc);
+    fatal_if(!out, "cannot open ", path, " for writing");
+    root.dump(out, 0);
+    out << '\n';
+    out.flush();
+    fatal_if(!out, "failed writing ", path);
+}
+
+Json
+benchArtifact(const std::string &bench, int jobs, double wall_seconds)
+{
+    Json root = Json::object();
+    root["bench"] = bench;
+    root["jobs"] = jobs;
+    root["wall_seconds"] = wall_seconds;
+    root["rows"] = Json::array();
+    return root;
+}
+
+} // namespace csim

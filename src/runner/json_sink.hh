@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured result sink for sweeps: a minimal JSON value tree plus a
+ * file writer. Every converted bench emits one `BENCH_<name>.json`
+ * artifact per run so the accuracy/rate tables feed the performance
+ * trajectory without scraping console tables.
+ *
+ * Deliberately tiny (objects, arrays, strings, numbers, bools) — no
+ * parsing, no external dependency.
+ */
+
+#ifndef COHERSIM_RUNNER_JSON_SINK_HH
+#define COHERSIM_RUNNER_JSON_SINK_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csim
+{
+
+/** One JSON value; objects preserve insertion order for stable diffs. */
+class Json
+{
+  public:
+    Json() : kind_(Kind::null) {}
+    Json(std::nullptr_t) : kind_(Kind::null) {}
+    Json(bool b) : kind_(Kind::boolean), bool_(b) {}
+    Json(double d) : kind_(Kind::number), num_(d) {}
+    Json(int i) : kind_(Kind::integer), int_(i) {}
+    Json(std::int64_t i) : kind_(Kind::integer), int_(i) {}
+    Json(std::uint64_t u)
+        : kind_(Kind::integer), int_(static_cast<std::int64_t>(u)) {}
+    Json(const char *s) : kind_(Kind::string), str_(s) {}
+    Json(std::string s) : kind_(Kind::string), str_(std::move(s)) {}
+
+    static Json object();
+    static Json array();
+
+    /** Object access; inserts a null member on first use. */
+    Json &operator[](const std::string &key);
+
+    /** Append to an array. */
+    void push(Json v);
+
+    /** Number of array elements / object members. */
+    std::size_t size() const;
+
+    /** Serialize with 2-space indentation. */
+    void dump(std::ostream &os, int indent = 0) const;
+    std::string dump() const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        null,
+        boolean,
+        integer,
+        number,
+        string,
+        array,
+        object,
+    };
+
+    static void escape(std::ostream &os, const std::string &s);
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/**
+ * Write @p root to @p path (atomically enough for bench artifacts:
+ * truncate + write + flush). fatal()s when the file cannot be written.
+ */
+void writeJsonFile(const std::string &path, const Json &root);
+
+/**
+ * Standard envelope for a sweep artifact: bench name, worker count,
+ * wall-clock seconds and an empty "rows" array for the caller to fill.
+ */
+Json benchArtifact(const std::string &bench, int jobs,
+                   double wall_seconds);
+
+} // namespace csim
+
+#endif // COHERSIM_RUNNER_JSON_SINK_HH

@@ -1,0 +1,137 @@
+#include "runner/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace csim
+{
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    // splitmix64 at stream position `index` of the sequence seeded by
+    // `base` (Vigna's reference constants).
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+RunnerOptions
+RunnerOptions::fromArgs(int argc, char **argv)
+{
+    RunnerOptions opts;
+#ifndef _WIN32
+    opts.progress = isatty(2) != 0;
+#endif
+    if (const char *env = std::getenv("CSIM_JOBS"))
+        opts.jobs = std::atoi(env);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+        } else if (arg == "--quiet") {
+            opts.progress = false;
+        }
+    }
+    return opts;
+}
+
+int
+RunnerOptions::resolvedJobs() const
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
+
+void
+SweepRunner::run(std::size_t n,
+                 const std::function<void(std::size_t)> &run_one)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
+    std::atomic<std::size_t> completed{0};
+
+    // Progress/ETA reporter: one line, rewritten in place on stderr.
+    std::atomic<bool> reporting{opts_.progress && n > 0};
+    std::mutex repMtx;
+    std::condition_variable repCv;
+    std::thread reporter;
+    if (reporting.load()) {
+        reporter = std::thread([&] {
+            std::unique_lock<std::mutex> lk(repMtx);
+            for (;;) {
+                repCv.wait_for(lk, std::chrono::milliseconds(250),
+                               [&] { return !reporting.load(); });
+                const std::size_t done = completed.load();
+                const double elapsed =
+                    std::chrono::duration<double>(Clock::now() - t0)
+                        .count();
+                const double eta =
+                    done > 0 ? elapsed * static_cast<double>(n - done) /
+                                   static_cast<double>(done)
+                             : 0.0;
+                std::fprintf(stderr,
+                             "\r%s%s%zu/%zu jobs  %.1fs elapsed  "
+                             "eta %.1fs   ",
+                             opts_.label.c_str(),
+                             opts_.label.empty() ? "" : ": ", done, n,
+                             elapsed, eta);
+                std::fflush(stderr);
+                if (!reporting.load())
+                    break;
+            }
+            std::fprintf(stderr, "\n");
+        });
+    }
+
+    {
+        WorkStealingPool pool(opts_.resolvedJobs());
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&, i] {
+                run_one(i);
+                completed.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        try {
+            pool.drain();
+        } catch (...) {
+            if (reporter.joinable()) {
+                {
+                    std::lock_guard<std::mutex> lk(repMtx);
+                    reporting.store(false);
+                }
+                repCv.notify_all();
+                reporter.join();
+            }
+            throw;
+        }
+    }
+
+    if (reporter.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(repMtx);
+            reporting.store(false);
+        }
+        repCv.notify_all();
+        reporter.join();
+    }
+    lastWallSeconds_ =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace csim

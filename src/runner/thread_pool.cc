@@ -1,0 +1,128 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+namespace csim
+{
+
+WorkStealingPool::WorkStealingPool(int workers)
+{
+    const auto n = static_cast<std::size_t>(std::max(workers, 1));
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lk(sleepMtx_);
+        stop_.store(true, std::memory_order_relaxed);
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkStealingPool::submit(std::function<void()> task)
+{
+    const std::size_t target =
+        nextWorker_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size();
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(workers_[target]->mtx);
+        workers_[target]->tasks.push_back(std::move(task));
+    }
+    {
+        // Under sleepMtx_ so a worker between its predicate check and
+        // its wait cannot miss the increment (lost wakeup).
+        std::lock_guard<std::mutex> lk(sleepMtx_);
+        queued_.fetch_add(1, std::memory_order_release);
+    }
+    wake_.notify_one();
+}
+
+bool
+WorkStealingPool::takeTask(std::size_t self, std::function<void()> &out)
+{
+    // Own deque first (back = most recently pushed here).
+    {
+        Worker &w = *workers_[self];
+        std::lock_guard<std::mutex> lk(w.mtx);
+        if (!w.tasks.empty()) {
+            out = std::move(w.tasks.back());
+            w.tasks.pop_back();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    // Steal sweep, starting just past ourselves for fairness.
+    for (std::size_t k = 1; k < workers_.size(); ++k) {
+        Worker &v = *workers_[(self + k) % workers_.size()];
+        std::lock_guard<std::mutex> lk(v.mtx);
+        if (!v.tasks.empty()) {
+            out = std::move(v.tasks.front());
+            v.tasks.pop_front();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (takeTask(self, task)) {
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(errMtx_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lk(sleepMtx_);
+                idle_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleepMtx_);
+        wake_.wait(lk, [this] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   queued_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_relaxed) &&
+            queued_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+void
+WorkStealingPool::drain()
+{
+    std::unique_lock<std::mutex> lk(sleepMtx_);
+    idle_.wait(lk, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+    lk.unlock();
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> elk(errMtx_);
+        err = firstError_;
+        firstError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace csim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Work-stealing host thread pool for the experiment runner.
+ *
+ * Each worker owns a deque: the owner pushes/pops at the back, idle
+ * workers steal from the front of a victim's deque. Submission
+ * distributes tasks round-robin so a balanced sweep starts balanced;
+ * stealing rebalances when job durations diverge (dead operating
+ * points time out quickly, live ones simulate the full payload).
+ *
+ * The pool runs *host* threads; the simulated SimThreads inside one
+ * job never cross host-thread boundaries. One `Machine` per job keeps
+ * jobs fully independent.
+ */
+
+#ifndef COHERSIM_RUNNER_THREAD_POOL_HH
+#define COHERSIM_RUNNER_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csim
+{
+
+/**
+ * Fixed-size work-stealing pool. Tasks may be submitted from any
+ * thread; drain() blocks the caller until every submitted task has
+ * finished and rethrows the first task exception, if any.
+ */
+class WorkStealingPool
+{
+  public:
+    /** @param workers number of host worker threads (clamped to >= 1). */
+    explicit WorkStealingPool(int workers);
+
+    /** Joins all workers; pending tasks are still completed first. */
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until all submitted tasks have completed. Rethrows the
+     * first exception a task raised (remaining tasks still ran).
+     */
+    void drain();
+
+    /** Number of worker threads. */
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    /** One worker's deque; the mutex only guards this deque. */
+    struct Worker
+    {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mtx;
+    };
+
+    void workerLoop(std::size_t self);
+    /** Pop from own back / steal from a victim's front. */
+    bool takeTask(std::size_t self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex sleepMtx_;
+    std::condition_variable wake_;  //!< idle workers wait here
+    std::condition_variable idle_;  //!< drain() waits here
+
+    std::atomic<std::size_t> queued_{0};   //!< tasks sitting in deques
+    std::atomic<std::size_t> pending_{0};  //!< queued + running tasks
+    std::atomic<std::size_t> nextWorker_{0};
+    std::atomic<bool> stop_{false};
+
+    std::mutex errMtx_;
+    std::exception_ptr firstError_;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_RUNNER_THREAD_POOL_HH

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/bit_string.hh"
 #include "common/edit_distance.hh"
@@ -101,9 +103,63 @@ TEST(SampleSet, MeanStdDev)
     for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
         s.add(v);
     EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    // Bessel-corrected sample stddev: sum of squared deviations is
+    // 32 over N-1 = 7 (the population divisor would give 2.0 and
+    // understate the calibration band sigma).
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(32.0 / 7.0));
+    EXPECT_NEAR(s.stddev(), 2.13808993529939517, 1e-15);
     EXPECT_DOUBLE_EQ(s.min(), 2.0);
     EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, SingleSampleStdDevIsZero)
+{
+    SampleSet s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(SampleSet, TwoSampleStdDev)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.add(3.0);
+    // Deviations +-1, squared sum 2, over N-1 = 1.
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.0));
+}
+
+TEST(SampleSet, PercentileExtremes)
+{
+    SampleSet s;
+    for (int i = 1; i <= 7; ++i)
+        s.add(i * 10);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 70.0);
+    // A tiny positive percentile still maps to the first sample
+    // under nearest-rank.
+    EXPECT_DOUBLE_EQ(s.percentile(0.0001), 10.0);
+    EXPECT_THROW(s.percentile(-1), std::logic_error);
+    EXPECT_THROW(s.percentile(101), std::logic_error);
+}
+
+TEST(SampleSet, EmptyCdf)
+{
+    SampleSet s;
+    EXPECT_TRUE(s.cdf(10).empty());
+    s.add(1.0);
+    EXPECT_TRUE(s.cdf(0).empty());
+}
+
+TEST(SampleSet, ClearResets)
+{
+    SampleSet s;
+    s.add(5.0);
+    s.add(9.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
 }
 
 TEST(SampleSet, EmptyIsZero)

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the host-parallel experiment runner: the work-stealing
+ * pool, per-job seed derivation, the JSON result sink, and — the load
+ * bearing property — that sweeps are bit-identical for any worker
+ * count, which requires the simulator to be safely embeddable
+ * many-per-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "channel/channel.hh"
+#include "runner/json_sink.hh"
+#include "runner/runner.hh"
+#include "runner/thread_pool.hh"
+
+namespace csim
+{
+namespace
+{
+
+TEST(WorkStealingPool, RunsEveryTask)
+{
+    WorkStealingPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkStealingPool, DrainIsReusable)
+{
+    WorkStealingPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(WorkStealingPool, StealsFromBusyWorkers)
+{
+    // One long task pins a worker; the short tasks round-robined to
+    // it must be stolen by the idle workers for the drain to finish
+    // quickly. Generous bound: without stealing the serial tail of
+    // 50 x 2ms behind one 200ms task still passes, but a deadlocked
+    // steal path would hang drain() entirely.
+    WorkStealingPool pool(4);
+    std::atomic<int> count{0};
+    pool.submit([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    });
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&count] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            count.fetch_add(1);
+        });
+    }
+    pool.drain();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(WorkStealingPool, PropagatesFirstException)
+{
+    WorkStealingPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran, i] {
+            ran.fetch_add(1);
+            if (i == 3)
+                throw std::runtime_error("job 3 failed");
+        });
+    }
+    EXPECT_THROW(pool.drain(), std::runtime_error);
+    // The other jobs still ran; the pool is usable afterwards.
+    EXPECT_EQ(ran.load(), 8);
+    pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_NO_THROW(pool.drain());
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(DeriveSeed, DeterministicAndDecorrelated)
+{
+    EXPECT_EQ(deriveSeed(2018, 0), deriveSeed(2018, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seen.insert(deriveSeed(2018, i));
+    EXPECT_EQ(seen.size(), 1000u);
+    EXPECT_NE(deriveSeed(1, 0), deriveSeed(2, 0));
+}
+
+TEST(RunnerOptions, FromArgsParsesJobs)
+{
+    const char *argv[] = {"bench", "--jobs", "7", "--quiet"};
+    const RunnerOptions opts =
+        RunnerOptions::fromArgs(4, const_cast<char **>(argv));
+    EXPECT_EQ(opts.jobs, 7);
+    EXPECT_FALSE(opts.progress);
+    EXPECT_EQ(opts.resolvedJobs(), 7);
+    EXPECT_GE(RunnerOptions{}.resolvedJobs(), 1);
+}
+
+TEST(RunJobs, ResultsInSubmissionOrderForAnyWorkerCount)
+{
+    // Jobs finish out of order (reverse-staggered sleeps); the
+    // result vector must still be index-ordered.
+    auto make_jobs = [] {
+        std::vector<std::function<int()>> jobs;
+        for (int i = 0; i < 16; ++i) {
+            jobs.push_back([i] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds((16 - i) % 5));
+                return i * i;
+            });
+        }
+        return jobs;
+    };
+    for (int workers : {1, 8}) {
+        RunnerOptions opts;
+        opts.jobs = workers;
+        const std::vector<int> results =
+            runJobs(make_jobs(), opts);
+        ASSERT_EQ(results.size(), 16u);
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+    }
+}
+
+TEST(Json, DumpAndEscape)
+{
+    Json root = Json::object();
+    root["name"] = "line\nbreak \"quoted\"";
+    root["count"] = 3;
+    root["ratio"] = 0.5;
+    root["ok"] = true;
+    root["rows"] = Json::array();
+    root["rows"].push(Json::object());
+    const std::string out = root.dump();
+    EXPECT_NE(out.find("\"line\\nbreak \\\"quoted\\\"\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"count\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(out.find("0.5"), std::string::npos);
+}
+
+TEST(Json, RoundTripsDoublesExactly)
+{
+    Json j = 0.1 + 0.2;  // 0.30000000000000004
+    std::ostringstream os;
+    j.dump(os);
+    EXPECT_EQ(std::stod(os.str()), 0.1 + 0.2);
+}
+
+TEST(Json, WriteFileAndEnvelope)
+{
+    Json artifact = benchArtifact("unit", 4, 1.25);
+    artifact["rows"].push(Json(std::int64_t{1}));
+    const std::string path = "BENCH_unit_test.json";
+    writeJsonFile(path, artifact);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    EXPECT_NE(content.find("\"bench\": \"unit\""),
+              std::string::npos);
+    EXPECT_NE(content.find("\"jobs\": 4"), std::string::npos);
+    in.close();
+    std::remove(path.c_str());
+}
+
+/** Two Machines driven from two host threads at once must not
+ *  interfere: same results as when each runs alone. */
+TEST(ParallelSafety, ConcurrentMachinesMatchSoloRuns)
+{
+    ChannelConfig cfg;
+    cfg.system.seed = 77;
+    const CalibrationResult cal =
+        calibrate(cfg.system, 150, cfg.params);
+    Rng rng(3);
+    const BitString payload = randomBits(rng, 24);
+    cfg.timeout = cfg.deriveTimeout(payload.size());
+
+    auto run_one = [&](Scenario sc) {
+        ChannelConfig c = cfg;
+        c.scenario = sc;
+        return runCovertTransmission(c, payload, &cal);
+    };
+
+    // Solo (sequential) reference runs.
+    const ChannelReport solo_a = run_one(Scenario::lexcC_lshB);
+    const ChannelReport solo_b = run_one(Scenario::rexcC_lshB);
+
+    // The same two simulations concurrently on two host threads.
+    ChannelReport conc_a, conc_b;
+    std::thread ta([&] { conc_a = run_one(Scenario::lexcC_lshB); });
+    std::thread tb([&] { conc_b = run_one(Scenario::rexcC_lshB); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(bitsToString(solo_a.received),
+              bitsToString(conc_a.received));
+    EXPECT_EQ(bitsToString(solo_b.received),
+              bitsToString(conc_b.received));
+    EXPECT_DOUBLE_EQ(solo_a.metrics.accuracy,
+                     conc_a.metrics.accuracy);
+    EXPECT_DOUBLE_EQ(solo_b.metrics.accuracy,
+                     conc_b.metrics.accuracy);
+    EXPECT_EQ(solo_a.metrics.durationCycles,
+              conc_a.metrics.durationCycles);
+    EXPECT_EQ(solo_b.metrics.durationCycles,
+              conc_b.metrics.durationCycles);
+}
+
+/** The acceptance property: a sweep produces bit-identical tables
+ *  for --jobs 1 and --jobs 8. */
+TEST(ParallelSweep, BitIdenticalAcrossWorkerCounts)
+{
+    ChannelConfig base;
+    base.system.seed = 2018;
+    const CalibrationResult cal =
+        calibrate(base.system, 150, base.params);
+    Rng rng(8);
+    const BitString payload = randomBits(rng, 24);
+
+    const std::vector<Scenario> scenarios = {
+        Scenario::lexcC_lshB, Scenario::rexcC_lshB};
+    const std::vector<double> rates = {150, 500};
+
+    struct Cell
+    {
+        std::string received;
+        double accuracy = 0.0;
+        double rawKbps = 0.0;
+        Tick duration = 0;
+    };
+    auto sweep = [&](int workers) {
+        std::vector<std::function<Cell()>> jobs;
+        for (Scenario sc : scenarios) {
+            for (double rate : rates) {
+                jobs.push_back([&base, &cal, &payload, sc, rate] {
+                    ChannelConfig cfg = base;
+                    cfg.scenario = sc;
+                    cfg.params = ChannelParams::forTargetKbps(
+                        rate, cfg.system.timing);
+                    cfg.timeout =
+                        cfg.deriveTimeout(payload.size());
+                    const ChannelReport rep =
+                        runCovertTransmission(cfg, payload, &cal);
+                    return Cell{bitsToString(rep.received),
+                                rep.metrics.accuracy,
+                                rep.metrics.rawKbps,
+                                rep.metrics.durationCycles};
+                });
+            }
+        }
+        RunnerOptions opts;
+        opts.jobs = workers;
+        return runJobs(std::move(jobs), opts);
+    };
+
+    const auto seq = sweep(1);
+    const auto par = sweep(8);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].received, par[i].received) << "job " << i;
+        EXPECT_DOUBLE_EQ(seq[i].accuracy, par[i].accuracy)
+            << "job " << i;
+        EXPECT_DOUBLE_EQ(seq[i].rawKbps, par[i].rawKbps)
+            << "job " << i;
+        EXPECT_EQ(seq[i].duration, par[i].duration) << "job " << i;
+    }
+}
+
+} // namespace
+} // namespace csim
