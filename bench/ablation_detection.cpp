@@ -38,7 +38,7 @@ main()
         ExperimentRig rig(cfg, sc.localLoaders, sc.remoteLoaders,
                           sc.csc);
         CoherenceChannelDetector detector;
-        detector.attach(rig.machine.mem);
+        detector.attach(rig.machine.mem.trace());
 
         TrojanResult trojan;
         SpyResult spy;
@@ -97,7 +97,7 @@ main()
         sys.seed = 999;
         Machine m(sys);
         CoherenceChannelDetector detector;
-        detector.attach(m.mem);
+        detector.attach(m.mem.trace());
         spawnNoiseAgents(m, 8,
                          {sys.coreOf(0, 4), sys.coreOf(0, 5),
                           sys.coreOf(1, 2), sys.coreOf(1, 3),

@@ -61,6 +61,12 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
                              int n_remote, Combo csc)
     : machine(cfg.system), plan(CorePlan::standard(cfg.system))
 {
+    // Subscribe the caller's recorder before anything else touches
+    // memory, so the capture includes share establishment (KSM scans,
+    // COW splits, the ch.share_established milestone).
+    recorder_ = cfg.recorder;
+    if (recorder_)
+        recorder_->attach(machine.mem.trace(), cfg.system.numCores());
     trojanProc = &machine.kernel.createProcess("trojan");
     spyProc = &machine.kernel.createProcess("spy");
     shared = establishSharedBlock(machine, *trojanProc, *spyProc,
@@ -98,6 +104,12 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
     crew = std::make_unique<PlacerCrew>(machine.kernel, machine.sched,
                                         *trojanProc, local_cores,
                                         remote_cores, cfg.params);
+}
+
+ExperimentRig::~ExperimentRig()
+{
+    if (recorder_)
+        recorder_->detach();
 }
 
 ChannelReport
@@ -146,6 +158,7 @@ runCovertTransmission(const ChannelConfig &cfg,
         report.trojan.txEnd ? report.trojan.txEnd
                             : rig.machine.sched.now(),
         cfg.system.timing);
+    report.counters = collectCounters(rig.machine, cfg.recorder);
     return report;
 }
 

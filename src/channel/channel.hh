@@ -24,6 +24,8 @@
 #include "channel/trojan.hh"
 #include "common/bit_string.hh"
 #include "mem/params.hh"
+#include "trace/counters.hh"
+#include "trace/recorder.hh"
 
 namespace csim
 {
@@ -40,6 +42,13 @@ struct ChannelConfig
     NoiseConfig noise;
     /** Record the spy's raw latency trace (paper Fig. 7). */
     bool collectTrace = false;
+    /**
+     * When set, the rig subscribes this recorder to the machine's
+     * trace bus before shared-memory establishment, so the captured
+     * stream covers the whole experiment (KSM merging included).
+     * The recorder outlives the rig; drain it after the run.
+     */
+    TraceRecorder *recorder = nullptr;
     /** Safety stop, in cycles (~300 ms of simulated time). */
     Tick timeout = 800'000'000ULL;
 
@@ -66,6 +75,8 @@ struct ChannelReport
     TrojanResult trojan;
     SpyResult spy;
     SharedBlock shared;
+    /** Machine-wide counter totals, snapshotted after the run. */
+    CounterRegistry counters;
     /** False if the run hit the safety timeout. */
     bool completed = false;
 };
@@ -121,6 +132,13 @@ class ExperimentRig
     ExperimentRig(const ChannelConfig &cfg, int n_local, int n_remote,
                   Combo csc = Combo::localShared);
 
+    /**
+     * Detaches the config's recorder (if any) from the machine's
+     * trace bus, which dies with the rig; the recorder's captured
+     * events stay drainable afterwards.
+     */
+    ~ExperimentRig();
+
     ExperimentRig(const ExperimentRig &) = delete;
     ExperimentRig &operator=(const ExperimentRig &) = delete;
 
@@ -130,6 +148,9 @@ class ExperimentRig
     Process *spyProc = nullptr;
     SharedBlock shared;
     std::unique_ptr<PlacerCrew> crew;
+
+  private:
+    TraceRecorder *recorder_ = nullptr;
 };
 
 } // namespace csim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "channel/trace_hooks.hh"
 #include "common/logging.hh"
 
 namespace csim
@@ -112,12 +113,18 @@ eccTrojanBody(ThreadApi api, PlacerCrew &crew, VAddr block,
                     ++cached;
             }
             const bool nack = cached >= ecc.nackThreshold;
+            if (nack) {
+                chEvent(api, TraceEventType::chNack,
+                        static_cast<std::uint64_t>(attempts + 1));
+            }
             // Settle before the next lead-in so the spy is back in
             // its wait-for-start phase.
             co_await api.spin(3 * period);
             if (!nack)
                 break;
             ++report.retransmissions;
+            chEvent(api, TraceEventType::chRetransmit,
+                    report.rawBitsSent / packetTotalBits);
             if (++attempts > ecc.maxRetries) {
                 warn("ecc: giving up on a packet after ",
                      ecc.maxRetries, " retries");
@@ -192,6 +199,8 @@ eccSpyBody(ThreadApi api, VAddr block, const ScenarioInfo &scenario,
             if (static_cast<int>(decoded->first) != last_seq) {
                 accepted.push_back(decoded->second);
                 last_seq = decoded->first;
+                chEvent(api, TraceEventType::chPacketAccepted,
+                        decoded->first);
             }
             // ACK (no NACK): stay quiet through the trojan's window.
             co_await api.spin(

@@ -43,6 +43,20 @@ tryDedup(Machine &machine, Process &trojan, Process &spy,
     return true;
 }
 
+/** Announce the agreed-upon block on the machine's trace bus. */
+void
+publishShareEstablished(Machine &machine, const SharedBlock &block)
+{
+    TraceBus &bus = machine.mem.trace();
+    if (!bus.enabled<TraceCategory::channel>())
+        return;
+    bus.publish(TraceEvent{TraceEventType::chShareEstablished,
+                           TraceCategory::channel, invalidCore,
+                           machine.sched.now(), block.paddr,
+                           static_cast<std::uint64_t>(block.attempts),
+                           block.viaKsm ? 1u : 0u});
+}
+
 } // namespace
 
 const char *
@@ -66,6 +80,7 @@ establishSharedBlock(Machine &machine, Process &trojan, Process &spy,
         out.trojanVa = tva;
         out.spyVa = sva;
         out.paddr = pageAlign(trojan.translate(tva));
+        publishShareEstablished(machine, out);
         return out;
     }
 
@@ -93,6 +108,7 @@ establishSharedBlock(Machine &machine, Process &trojan, Process &spy,
             out.spareTrojanVa = stva;
             out.spareSpyVa = ssva;
         }
+        publishShareEstablished(machine, out);
         return out;
     }
     fatal("KSM sharing failed after ", maxAttempts,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "channel/trace_hooks.hh"
+
 namespace csim
 {
 
@@ -132,6 +134,7 @@ spyBody(ThreadApi api, VAddr block, const ScenarioInfo &scenario,
     }
     out.sawTransmission = true;
     out.rxStart = api.now();
+    chEvent(api, TraceEventType::chRxStart);
     // The observations that triggered the start are boundary
     // samples; prime the translator accordingly.
     translator.feed(SampleClass::boundary);
@@ -148,8 +151,12 @@ spyBody(ThreadApi api, VAddr block, const ScenarioInfo &scenario,
                 SpySample{api.now(), lat, api.lastServed()});
         const auto cls =
             classifySample(static_cast<double>(lat), tc, tb);
-        if (auto bit = translator.feed(cls))
+        if (auto bit = translator.feed(cls)) {
+            chEvent(api, TraceEventType::chRxBit,
+                    static_cast<std::uint64_t>(*bit),
+                    out.bits.size());
             out.bits.push_back(static_cast<std::uint8_t>(*bit));
+        }
         if (cls == SampleClass::outOfBand) {
             if (++out_of_band >= params.endN)
                 break;
@@ -157,9 +164,13 @@ spyBody(ThreadApi api, VAddr block, const ScenarioInfo &scenario,
             out_of_band = 0;
         }
     }
-    if (auto bit = translator.finish())
+    if (auto bit = translator.finish()) {
+        chEvent(api, TraceEventType::chRxBit,
+                static_cast<std::uint64_t>(*bit), out.bits.size());
         out.bits.push_back(static_cast<std::uint8_t>(*bit));
+    }
     out.rxEnd = api.now();
+    chEvent(api, TraceEventType::chRxEnd, out.bits.size());
 }
 
 } // namespace csim

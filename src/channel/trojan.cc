@@ -1,5 +1,7 @@
 #include "channel/trojan.hh"
 
+#include "channel/trace_hooks.hh"
+
 namespace csim
 {
 
@@ -27,6 +29,7 @@ trojanSyncPhase(ThreadApi api, VAddr block,
             break;
     }
     out.syncEnd = api.now();
+    chEvent(api, TraceEventType::chSyncDone, out.syncProbes);
 }
 
 Task
@@ -36,6 +39,7 @@ trojanTransmit(ThreadApi api, PlacerCrew &crew, VAddr block,
                const BitString &bits, TrojanResult &out)
 {
     out.txStart = api.now();
+    chEvent(api, TraceEventType::chTxStart, bits.size());
     Tick phase_start = api.now();
     // Phase switches do not flush B: copies left by the previous
     // phase's loaders persist only until the spy's next flush, so
@@ -52,11 +56,14 @@ trojanTransmit(ThreadApi api, PlacerCrew &crew, VAddr block,
     // two consecutive Tb observations to declare the start).
     co_await hold(scenario.csb, params.cb + 2);
     for (std::uint8_t bit : bits) {
+        chEvent(api, TraceEventType::chTxBit, bit);
         co_await hold(scenario.csc, bit ? params.c1 : params.c0);
+        chEvent(api, TraceEventType::chTxBoundary);
         co_await hold(scenario.csb, params.cb);
     }
     crew.idle();
     out.txEnd = api.now();
+    chEvent(api, TraceEventType::chTxEnd, bits.size());
 }
 
 Task

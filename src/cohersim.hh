@@ -40,6 +40,15 @@
 #include "os/phys_mem.hh"
 #include "os/process.hh"
 
+// Tracing & counters.
+#include "trace/bus.hh"
+#include "trace/counters.hh"
+#include "trace/event.hh"
+#include "trace/perfetto.hh"
+#include "trace/query.hh"
+#include "trace/recorder.hh"
+#include "trace/ring.hh"
+
 // Defences.
 #include "detect/cchunter.hh"
 

@@ -17,10 +17,29 @@ CoherenceChannelDetector::CoherenceChannelDetector(
              "detector history must hold >= 8 intervals");
 }
 
-void
-CoherenceChannelDetector::attach(MemorySystem &mem)
+CoherenceChannelDetector::~CoherenceChannelDetector()
 {
-    mem.eventHook = [this](const MemEvent &ev) { observe(ev); };
+    detach();
+}
+
+void
+CoherenceChannelDetector::attach(TraceBus &bus)
+{
+    detach();
+    bus_ = &bus;
+    subId_ = bus.subscribe(
+        categoryBit(TraceCategory::mem),
+        [this](const TraceEvent &ev) { observe(ev); });
+}
+
+void
+CoherenceChannelDetector::detach()
+{
+    if (bus_) {
+        bus_->unsubscribe(subId_);
+        bus_ = nullptr;
+        subId_ = 0;
+    }
 }
 
 double
@@ -44,14 +63,14 @@ CoherenceChannelDetector::intervalCv(const LineState &state)
 }
 
 void
-CoherenceChannelDetector::observe(const MemEvent &ev)
+CoherenceChannelDetector::observe(const TraceEvent &ev)
 {
     ++events_;
-    if (ev.type != MemEvent::Type::flush) {
+    if (ev.type != TraceEventType::memFlush) {
         // Accesses between two flushes by a *different* core feed
         // the alternation score — only track lines already being
         // flushed (bounded state).
-        const auto it = lines_.find(ev.line);
+        const auto it = lines_.find(ev.addr);
         if (it != lines_.end() &&
             ev.core != it->second.lastFlusher) {
             it->second.otherCoreTouched = true;
@@ -59,7 +78,7 @@ CoherenceChannelDetector::observe(const MemEvent &ev)
         return;
     }
 
-    LineState &state = lines_[ev.line];
+    LineState &state = lines_[ev.addr];
     if (state.lastFlushAt != 0) {
         const Tick gap = ev.when - state.lastFlushAt;
         if (gap > params_.maxGap) {
@@ -86,7 +105,7 @@ CoherenceChannelDetector::observe(const MemEvent &ev)
     state.lastFlusher = ev.core;
     state.otherCoreTouched = false;
     ++state.flushes;
-    evaluate(state, ev.line, ev.when);
+    evaluate(state, ev.addr, ev.when);
 }
 
 void

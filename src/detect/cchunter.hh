@@ -8,8 +8,9 @@
  * The coherence-state channel has a loud microarchitectural
  * signature on the shared block: the spy's strictly periodic
  * cache-line flushes interleaved with reloads by *other* cores (the
- * trojan's loaders re-establishing the state). The detector consumes
- * the MemorySystem event stream and, per line, maintains
+ * trojan's loaders re-establishing the state). The detector
+ * subscribes to the mem category of the machine's trace bus and, per
+ * line, maintains
  *
  *   - a flush event train and the coefficient of variation of its
  *     inter-arrival times (periodicity),
@@ -71,19 +72,31 @@ struct LineVerdict
 };
 
 /**
- * The detector. Attach with attach(); it registers itself as the
- * MemorySystem's event hook.
+ * The detector. Attach with attach(); it subscribes to the mem
+ * category of the given trace bus and unsubscribes on destruction.
  */
 class CoherenceChannelDetector
 {
   public:
     explicit CoherenceChannelDetector(DetectorParams params = {});
+    ~CoherenceChannelDetector();
 
-    /** Register as @p mem's event hook (replaces any previous). */
-    void attach(MemorySystem &mem);
+    CoherenceChannelDetector(const CoherenceChannelDetector &) =
+        delete;
+    CoherenceChannelDetector &
+    operator=(const CoherenceChannelDetector &) = delete;
+
+    /**
+     * Subscribe to @p bus (detaching from any previous bus first).
+     * Only mem-category events are delivered.
+     */
+    void attach(TraceBus &bus);
+
+    /** Drop the bus subscription, keeping accumulated verdicts. */
+    void detach();
 
     /** Feed one event (attach() arranges this automatically). */
-    void observe(const MemEvent &ev);
+    void observe(const TraceEvent &ev);
 
     /** Lines currently flagged as covert-channel carriers. */
     std::vector<LineVerdict> suspiciousLines() const;
@@ -119,6 +132,8 @@ class CoherenceChannelDetector
 
     DetectorParams params_;
     std::unordered_map<PAddr, LineState> lines_;
+    TraceBus *bus_ = nullptr;
+    int subId_ = 0;
     std::uint64_t events_ = 0;
     std::uint64_t flagged_ = 0;
 };

@@ -32,6 +32,22 @@ isDirtyState(Mesi s)
     return s == Mesi::modified || s == Mesi::owned;
 }
 
+/** Publish a coherence-category event (no-op while nobody listens). */
+void
+pubCoh(const TraceBus &bus, TraceEventType type, CoreId core,
+       PAddr line, Tick when, std::uint64_t a = 0, std::uint64_t b = 0)
+{
+    if (bus.enabled<TraceCategory::coherence>())
+        bus.publish(TraceEvent{type, TraceCategory::coherence, core,
+                               when, line, a, b});
+}
+
+std::uint64_t
+mesiWord(Mesi s)
+{
+    return static_cast<std::uint64_t>(s);
+}
+
 } // namespace
 
 AccessResult
@@ -90,9 +106,12 @@ MemorySystem::load(CoreId core, PAddr addr, Tick when)
     }
     const AccessResult res{
         wait + lat + contentionDelay(path_util) + jitter(), served};
-    if (eventHook)
-        eventHook(MemEvent{MemEvent::Type::load, core, line, when,
-                           res.servedBy});
+    if (trace_.enabled<TraceCategory::mem>()) {
+        trace_.publish(TraceEvent{
+            TraceEventType::memLoad, TraceCategory::mem, core, when,
+            line, static_cast<std::uint64_t>(res.servedBy),
+            res.latency});
+    }
     if (traced) {
         inform("TRACE load  c", core, " @", when, " -> ",
                servedByName(res.servedBy), " lat=", res.latency);
@@ -143,6 +162,9 @@ MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
             if (ost == Mesi::modified &&
                 config_.flavor == CoherenceFlavor::moesi) {
                 setPrivateState(owner, line, Mesi::owned);
+                pubCoh(trace_, TraceEventType::cohDowngrade, owner,
+                       line, when, mesiWord(ost),
+                       mesiWord(Mesi::owned));
             } else {
                 if (isDirtyState(ost)) {
                     // Write back into the LLC when it caches the
@@ -153,22 +175,32 @@ MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
                     else
                         occupy(dram_, when, t.dramBusy);
                     ++stats_.writebacks;
+                    pubCoh(trace_, TraceEventType::cohWriteback,
+                           owner, line, when);
                 }
-                if (ost != Mesi::owned)
+                if (ost != Mesi::owned) {
                     forwarded_from_excl = true;
-                setPrivateState(owner, line,
-                                ost == Mesi::owned ? Mesi::owned
-                                                   : Mesi::shared);
+                    setPrivateState(owner, line, Mesi::shared);
+                    pubCoh(trace_, TraceEventType::cohDowngrade,
+                           owner, line, when, mesiWord(ost),
+                           mesiWord(Mesi::shared));
+                }
             }
             if (L)
                 L->ownerModified = false;
             served = ServedBy::localOwner;
             ++stats_.localOwnerForwards;
+            pubCoh(trace_, TraceEventType::cohOwnerForward, owner,
+                   line, when, static_cast<std::uint64_t>(core), 0);
             lat = t.localExclLat();
         } else if (L) {
             // Mitigated E (known clean) or S owner: LLC serves.
-            if (ost == Mesi::exclusive)
+            if (ost == Mesi::exclusive) {
                 setPrivateState(owner, line, Mesi::shared);
+                pubCoh(trace_, TraceEventType::cohDowngrade, owner,
+                       line, when, mesiWord(ost),
+                       mesiWord(Mesi::shared));
+            }
             served = ServedBy::localLlc;
             ++stats_.localLlcServes;
             lat = t.localSharedLat();
@@ -258,6 +290,9 @@ MemorySystem::serveRemote(CoreId core, SocketId remote, PAddr line,
             if (ost == Mesi::modified &&
                 config_.flavor == CoherenceFlavor::moesi) {
                 setPrivateState(owner, line, Mesi::owned);
+                pubCoh(trace_, TraceEventType::cohDowngrade, owner,
+                       line, when, mesiWord(ost),
+                       mesiWord(Mesi::owned));
             } else {
                 if (isDirtyState(ost)) {
                     if (R)
@@ -265,19 +300,30 @@ MemorySystem::serveRemote(CoreId core, SocketId remote, PAddr line,
                     else
                         occupy(dram_, when, t.dramBusy);
                     ++stats_.writebacks;
+                    pubCoh(trace_, TraceEventType::cohWriteback,
+                           owner, line, when);
                 }
-                setPrivateState(owner, line,
-                                ost == Mesi::owned ? Mesi::owned
-                                                   : Mesi::shared);
+                if (ost != Mesi::owned) {
+                    setPrivateState(owner, line, Mesi::shared);
+                    pubCoh(trace_, TraceEventType::cohDowngrade,
+                           owner, line, when, mesiWord(ost),
+                           mesiWord(Mesi::shared));
+                }
             }
             if (R)
                 R->ownerModified = false;
             served = ServedBy::remoteOwner;
             ++stats_.remoteOwnerForwards;
+            pubCoh(trace_, TraceEventType::cohOwnerForward, owner,
+                   line, when, static_cast<std::uint64_t>(core), 1);
             lat = t.remoteExclLat();
         } else if (R) {
-            if (ost == Mesi::exclusive)
+            if (ost == Mesi::exclusive) {
                 setPrivateState(owner, line, Mesi::shared);
+                pubCoh(trace_, TraceEventType::cohDowngrade, owner,
+                       line, when, mesiWord(ost),
+                       mesiWord(Mesi::shared));
+            }
             served = ServedBy::remoteLlc;
             ++stats_.remoteLlcServes;
             lat = t.remoteSharedLat();
@@ -365,9 +411,12 @@ AccessResult
 MemorySystem::store(CoreId core, PAddr addr, Tick when)
 {
     ++stats_.stores;
-    if (eventHook)
-        eventHook(MemEvent{MemEvent::Type::store, core,
-                           lineAlign(addr), when, ServedBy::none});
+    if (trace_.enabled<TraceCategory::mem>()) {
+        trace_.publish(TraceEvent{
+            TraceEventType::memStore, TraceCategory::mem, core, when,
+            lineAlign(addr),
+            static_cast<std::uint64_t>(ServedBy::none), 0});
+    }
     const PAddr line = lineAlign(addr);
     const auto idx = static_cast<std::size_t>(core);
     const TimingParams &t = config_.timing;
@@ -388,6 +437,8 @@ MemorySystem::store(CoreId core, PAddr addr, Tick when)
         ++stats_.upgrades;
         const bool had_remote = invalidateOthers(core, line, when);
         setPrivateState(core, line, Mesi::modified);
+        pubCoh(trace_, TraceEventType::cohUpgrade, core, line, when,
+               mesiWord(st), had_remote ? 1 : 0);
         auto &sk = sockets_[static_cast<std::size_t>(socket)];
         if (CacheLine *L = sk.llc->find(line)) {
             L->ownerModified = t.llcNotifiedOfUpgrade;
@@ -428,9 +479,12 @@ AccessResult
 MemorySystem::flush(CoreId core, PAddr addr, Tick when)
 {
     ++stats_.flushes;
-    if (eventHook)
-        eventHook(MemEvent{MemEvent::Type::flush, core,
-                           lineAlign(addr), when, ServedBy::none});
+    if (trace_.enabled<TraceCategory::mem>()) {
+        trace_.publish(TraceEvent{
+            TraceEventType::memFlush, TraceCategory::mem, core, when,
+            lineAlign(addr),
+            static_cast<std::uint64_t>(ServedBy::none), 0});
+    }
     const PAddr line = lineAlign(addr);
     const TimingParams &t = config_.timing;
 
@@ -458,6 +512,8 @@ MemorySystem::flush(CoreId core, PAddr addr, Tick when)
     if (dirty) {
         occupy(dram_, when, t.dramBusy);
         ++stats_.writebacks;
+        pubCoh(trace_, TraceEventType::cohWriteback, core, line,
+               when);
     }
     const Tick lat =
         t.flushBase + (dirty ? t.flushDirtyExtra : 0) + jitter();
@@ -513,6 +569,7 @@ MemorySystem::writebackToLlc(CoreId core, PAddr line, Tick when)
              " absent from its inclusive LLC");
     L->dirty = true;
     ++stats_.writebacks;
+    pubCoh(trace_, TraceEventType::cohWriteback, core, line, when);
 }
 
 void
@@ -537,6 +594,8 @@ MemorySystem::handleL2Victim(CoreId core, const CacheLine &victim,
             occupy(dram_, when, config_.timing.dramBusy);
         }
         ++stats_.writebacks;
+        pubCoh(trace_, TraceEventType::cohWriteback, core,
+               victim.addr, when);
     }
     // The eviction notifies the directory (modelling simplification;
     // see DESIGN.md): the residency bit is cleared.
@@ -570,10 +629,14 @@ MemorySystem::handleLlcVictim(SocketId socket, const CacheLine &victim,
             dirty = true;
         invalidatePrivate(core, victim.addr);
         ++stats_.backInvalidations;
+        pubCoh(trace_, TraceEventType::cohBackInvalidate, core,
+               victim.addr, when);
     }
     if (dirty) {
         occupy(dram_, when, config_.timing.dramBusy);
         ++stats_.writebacks;
+        pubCoh(trace_, TraceEventType::cohWriteback, invalidCore,
+               victim.addr, when);
     }
     auto it = globalDir_.find(victim.addr);
     panic_if(it == globalDir_.end(),

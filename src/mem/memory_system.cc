@@ -31,7 +31,11 @@ MemorySystem::MemorySystem(const SystemConfig &config)
         sockets_[static_cast<std::size_t>(s)].llc =
             std::make_unique<Cache>("LLC.s" + std::to_string(s),
                                     config_.llc);
+        sockets_[static_cast<std::size_t>(s)].llcPort.tag =
+            TraceEventType::linkLlc;
     }
+    qpi_.tag = TraceEventType::linkQpi;
+    dram_.tag = TraceEventType::linkDram;
 }
 
 CoreId
@@ -67,6 +71,11 @@ MemorySystem::occupy(Resource &res, Tick when, Tick service)
     res.util = std::min(res.util, 1.5);
     res.lastNoteAt = std::max(res.lastNoteAt, when);
     pathUtil_ += res.util;
+    if (trace_.enabled<TraceCategory::link>()) {
+        trace_.publish(TraceEvent{res.tag, TraceCategory::link,
+                                  invalidCore, when, 0, wait,
+                                  service});
+    }
     return wait;
 }
 

@@ -14,7 +14,6 @@
 #define COHERSIM_MEM_MEMORY_SYSTEM_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -25,26 +24,10 @@
 #include "mem/cache.hh"
 #include "mem/params.hh"
 #include "sim/memory_backend.hh"
+#include "trace/bus.hh"
 
 namespace csim
 {
-
-/** One observable memory-system transaction (for detectors). */
-struct MemEvent
-{
-    enum class Type : std::uint8_t
-    {
-        load,
-        store,
-        flush,
-    };
-
-    Type type;
-    CoreId core;       //!< requesting core
-    PAddr line;        //!< line-aligned physical address
-    Tick when;         //!< request time
-    ServedBy servedBy; //!< service source (loads/stores)
-};
 
 /** Aggregate counters exported by the memory system. */
 struct MemStats
@@ -116,12 +99,14 @@ class MemorySystem
     PAddr traceLine = 0;
 
     /**
-     * Observation hook for hardware-level detectors (e.g. the
-     * CC-Hunter-style covert-channel detector in src/detect): called
-     * once per load/store/flush. Unset by default; keep the callback
-     * cheap, it runs on every memory operation.
+     * The machine-wide trace event bus. Owned here (the lowest layer
+     * every component can reach) so hardware-level detectors can
+     * observe a bare MemorySystem and the OS/scheduler/channel layers
+     * publish into the same stream. Keep subscribers cheap: mem
+     * events fire on every memory operation.
      */
-    std::function<void(const MemEvent &)> eventHook;
+    TraceBus &trace() { return trace_; }
+    const TraceBus &trace() const { return trace_; }
 
     /** Deterministic jitter source; exposed for the OS layer. */
     Rng &rng() { return rng_; }
@@ -136,6 +121,8 @@ class MemorySystem
         Tick busyUntil = 0;
         Tick lastNoteAt = 0;
         double util = 0.0;
+        /** Which link.* trace event occupying this resource emits. */
+        TraceEventType tag = TraceEventType::linkDram;
 
         /** Utilization estimate at @p now, in [0, ~1.5]. */
         double utilAt(Tick now, double tau) const;
@@ -252,6 +239,7 @@ class MemorySystem
     double pathUtil_ = 0.0;
     Rng rng_;
     MemStats stats_;
+    TraceBus trace_;
 };
 
 } // namespace csim

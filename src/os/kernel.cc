@@ -57,17 +57,36 @@ Kernel::mapSharedRegion(Process &a, Process &b, std::uint64_t bytes)
     // reference so the pages die with their last mapping.
     for (PAddr p : pages)
         phys_.release(p);
+    if (mem_.trace().enabled<TraceCategory::os>()) {
+        mem_.trace().publish(TraceEvent{
+            TraceEventType::osMapShared, TraceCategory::os,
+            invalidCore, 0, pages.front(), npages,
+            static_cast<std::uint64_t>(b.pid())});
+    }
     return {va, vb};
 }
 
 std::vector<MergeEvent>
-Kernel::runKsmScan()
+Kernel::runKsmScan(Tick when)
 {
     std::vector<Process *> procs;
     procs.reserve(processes_.size());
     for (auto &p : processes_)
         procs.push_back(p.get());
-    return ksm_.scanOnce(procs);
+    std::vector<MergeEvent> merges = ksm_.scanOnce(procs);
+    if (mem_.trace().enabled<TraceCategory::os>()) {
+        for (const MergeEvent &m : merges) {
+            mem_.trace().publish(TraceEvent{
+                TraceEventType::osKsmMerge, TraceCategory::os,
+                invalidCore, when, m.canonical,
+                static_cast<std::uint64_t>(m.victimPid),
+                m.released});
+        }
+        mem_.trace().publish(TraceEvent{
+            TraceEventType::osKsmScan, TraceCategory::os,
+            invalidCore, when, 0, merges.size(), 0});
+    }
+    return merges;
 }
 
 Process &
@@ -118,6 +137,12 @@ Kernel::store(ThreadId tid, CoreId core, VAddr addr, Tick when)
         ++stats_.cowFaults;
         ++ksm_.stats().pagesUnmerged;
         fault_lat = mem_.config().timing.cowFaultLat;
+        if (mem_.trace().enabled<TraceCategory::os>()) {
+            mem_.trace().publish(TraceEvent{
+                TraceEventType::osCowFault, TraceCategory::os, core,
+                when, old_page,
+                static_cast<std::uint64_t>(proc.pid()), new_page});
+        }
         m = proc.lookup(addr);
     }
     AccessResult res =
@@ -149,7 +174,7 @@ Kernel::enableKsmGuard(KsmGuardParams params)
 }
 
 int
-Kernel::unmergePage(PAddr page, bool quarantine)
+Kernel::unmergePage(PAddr page, bool quarantine, Tick when)
 {
     int touched = 0;
     bool keeper_seen = false;
@@ -178,6 +203,13 @@ Kernel::unmergePage(PAddr page, bool quarantine)
             ++ksm_.stats().pagesUnmerged;
             ++touched;
         }
+    }
+    if (touched > 0 && mem_.trace().enabled<TraceCategory::os>()) {
+        mem_.trace().publish(TraceEvent{
+            TraceEventType::osKsmUnmerge, TraceCategory::os,
+            invalidCore, when, page,
+            static_cast<std::uint64_t>(touched),
+            quarantine ? 1u : 0u});
     }
     return touched;
 }

@@ -68,8 +68,12 @@ class Kernel : public MemoryBackend
     std::pair<VAddr, VAddr>
     mapSharedRegion(Process &a, Process &b, std::uint64_t bytes);
 
-    /** Run one KSM scan over all processes. @return merge events. */
-    std::vector<MergeEvent> runKsmScan();
+    /**
+     * Run one KSM scan over all processes. @return merge events.
+     * @p when stamps the ksm.* trace events (the daemon itself has
+     * no clock; callers in simulated threads pass api.now()).
+     */
+    std::vector<MergeEvent> runKsmScan(Tick when = 0);
 
     /**
      * Enable the KSM guard (paper §VIII-E mitigation 2): flushes on
@@ -88,11 +92,13 @@ class Kernel : public MemoryBackend
      * them.
      *
      * @return the number of mappings that were split or restored.
+     * @p when stamps the ksm.unmerge trace event.
      */
-    int unmergePage(PAddr page, bool quarantine);
+    int unmergePage(PAddr page, bool quarantine, Tick when = 0);
 
     PhysMem &phys() { return phys_; }
     KsmDaemon &ksm() { return ksm_; }
+    const KsmDaemon &ksm() const { return ksm_; }
     MemorySystem &mem() { return mem_; }
     const OsStats &stats() const { return stats_; }
 
@@ -128,7 +134,11 @@ struct Machine
                      SchedulerParams sched_params = {})
         : mem(config), kernel(mem),
           sched(&kernel, config.numCores(), sched_params)
-    {}
+    {
+        // One bus for the whole machine: the scheduler publishes its
+        // sched.* events next to the mem/os/channel streams.
+        sched.setTraceBus(&mem.trace());
+    }
 
     MemorySystem mem;
     Kernel kernel;

@@ -26,7 +26,7 @@ KsmGuard::noteFlush(PAddr page, Tick when)
     if (++w.flushes < params_.flushThreshold)
         return;
     // Suspicious: un-merge and quarantine the page.
-    if (kernel_.unmergePage(page, /*quarantine=*/true) > 0)
+    if (kernel_.unmergePage(page, /*quarantine=*/true, when) > 0)
         ++unmerged_;
     watches_.erase(page);
 }

@@ -151,10 +151,24 @@ Scheduler::execute(SimThread &t)
         if (core.lastThread == t.id())
             core.lastThread = invalidThread;
         t.resumePending = true;
+        if (trace_ && trace_->enabled<TraceCategory::sched>()) {
+            trace_->publish(TraceEvent{
+                TraceEventType::schedSleep, TraceCategory::sched,
+                t.core(), start, 0,
+                static_cast<std::uint64_t>(t.id()), t.lastLatency});
+        }
         return;
     }
     const Tick start = effectiveStart(t);
     if (core.lastThread != t.id()) {
+        if (core.lastThread != invalidThread && trace_ &&
+            trace_->enabled<TraceCategory::sched>()) {
+            trace_->publish(TraceEvent{
+                TraceEventType::schedSwitch, TraceCategory::sched,
+                t.core(), start, 0,
+                static_cast<std::uint64_t>(core.lastThread),
+                static_cast<std::uint64_t>(t.id())});
+        }
         core.lastThread = t.id();
         core.acquiredAt = start;
         core.mustYield = false;
@@ -199,6 +213,12 @@ Scheduler::execute(SimThread &t)
     if (t.now - core.acquiredAt > params_.quantum &&
         hasWaiter(t.core(), t.id())) {
         core.mustYield = true;
+        if (trace_ && trace_->enabled<TraceCategory::sched>()) {
+            trace_->publish(TraceEvent{
+                TraceEventType::schedPreempt, TraceCategory::sched,
+                t.core(), t.now, 0,
+                static_cast<std::uint64_t>(t.id()), 0});
+        }
     }
     // The coroutine resumes when the operation completes, in global
     // completion-time order (see pickNext).
@@ -233,6 +253,12 @@ void
 Scheduler::runUntilFinished(const SimThread *thread, Tick until)
 {
     run(until, [thread] { return thread->finished; });
+}
+
+TraceBus *
+ThreadApi::traceBus() const
+{
+    return sched_ ? sched_->traceBus() : nullptr;
 }
 
 } // namespace csim

@@ -24,6 +24,7 @@
 #include "sim/task.hh"
 #include "sim/thread.hh"
 #include "sim/thread_api.hh"
+#include "trace/bus.hh"
 
 namespace csim
 {
@@ -101,6 +102,15 @@ class Scheduler
     /** True when every spawned thread has completed. */
     bool allFinished() const;
 
+    /**
+     * Publish sched.* events into @p bus (the machine-wide trace
+     * bus; Machine wires this up). nullptr disables sched tracing.
+     */
+    void setTraceBus(TraceBus *bus) { trace_ = bus; }
+
+    /** The trace bus this scheduler publishes into, if any. */
+    TraceBus *traceBus() const { return trace_; }
+
   private:
     struct CoreState
     {
@@ -133,6 +143,7 @@ class Scheduler
     std::vector<CoreState> cores_;
     std::vector<std::unique_ptr<SimThread>> threads_;
     Tick globalNow_ = 0;
+    TraceBus *trace_ = nullptr;
 };
 
 } // namespace csim

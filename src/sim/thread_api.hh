@@ -20,6 +20,7 @@ namespace csim
 {
 
 class Scheduler;
+class TraceBus;
 
 /** Awaiter that parks a MemOp on the thread and yields its latency. */
 struct OpAwaiter
@@ -105,6 +106,13 @@ class ThreadApi
     CoreId core() const { return thread_->core(); }
     SimThread *thread() const { return thread_; }
     Scheduler *scheduler() const { return sched_; }
+
+    /**
+     * The machine's trace bus (nullptr when the scheduler is not
+     * wired to one). Defined in scheduler.cc: this header only
+     * forward-declares Scheduler.
+     */
+    TraceBus *traceBus() const;
 
   private:
     SimThread *thread_ = nullptr;

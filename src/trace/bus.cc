@@ -1,0 +1,39 @@
+#include "trace/bus.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+int
+TraceBus::subscribe(std::uint32_t category_mask, Handler handler)
+{
+    fatal_if(!handler, "subscribing a null trace handler");
+    fatal_if((category_mask & allTraceCategories) == 0,
+             "trace subscription with an empty category mask");
+    const int id = nextId_++;
+    subs_.push_back(Sub{id, category_mask & allTraceCategories,
+                        std::move(handler)});
+    liveMask_ |= category_mask;
+    return id;
+}
+
+void
+TraceBus::unsubscribe(int id)
+{
+    std::uint32_t live = 0;
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+        if (subs_[i].id == id) {
+            subs_.erase(subs_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+            --i;
+            continue;
+        }
+        live |= subs_[i].mask;
+    }
+    liveMask_ = live;
+}
+
+} // namespace csim

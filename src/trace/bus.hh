@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Multi-subscriber trace event bus.
+ *
+ * Replaces the old single-consumer MemorySystem::eventHook: any
+ * number of subscribers (detectors, recorders, test probes) attach
+ * with a category mask, and publishers pay one mask test per site
+ * while nobody is listening. Every simulator component of a Machine
+ * publishes into the same bus instance (owned by the MemorySystem),
+ * so one subscription observes the whole machine.
+ *
+ * Thread model: a bus belongs to one Machine and is published to and
+ * (un)subscribed from only on the host thread simulating that
+ * machine, exactly like the rest of the simulator state. Cross-host-
+ * thread consumption goes through TraceRing (SPSC-safe).
+ */
+
+#ifndef COHERSIM_TRACE_BUS_HH
+#define COHERSIM_TRACE_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace csim
+{
+
+/** The event bus. Cheap to own; costs one branch when silent. */
+class TraceBus
+{
+  public:
+    using Handler = std::function<void(const TraceEvent &)>;
+
+    TraceBus() = default;
+    TraceBus(const TraceBus &) = delete;
+    TraceBus &operator=(const TraceBus &) = delete;
+
+    /**
+     * Attach @p handler for every category in @p category_mask.
+     * @return a subscription id for unsubscribe().
+     */
+    int subscribe(std::uint32_t category_mask, Handler handler);
+
+    /** Detach a subscription; unknown ids are ignored. */
+    void unsubscribe(int id);
+
+    /** Number of live subscriptions. */
+    std::size_t subscriberCount() const { return subs_.size(); }
+
+    /**
+     * Whether publishing category @p C can reach anyone. Publish
+     * sites guard on this so event construction is skipped while
+     * nobody listens; categories masked out of COHERSIM_TRACE_MASK
+     * fold to `false` at compile time.
+     */
+    template <TraceCategory C>
+    bool
+    enabled() const
+    {
+        if constexpr ((COHERSIM_TRACE_MASK & categoryBit(C)) == 0)
+            return false;
+        else
+            return (liveMask_ & categoryBit(C)) != 0;
+    }
+
+    /** Runtime variant for callers with a dynamic category. */
+    bool
+    enabledDyn(TraceCategory c) const
+    {
+        return (COHERSIM_TRACE_MASK & liveMask_ & categoryBit(c)) != 0;
+    }
+
+    /** Deliver @p ev to every subscriber listening to its category. */
+    void
+    publish(const TraceEvent &ev) const
+    {
+        const std::uint32_t bit = categoryBit(ev.category);
+        ++published_;
+        for (const Sub &s : subs_) {
+            if (s.mask & bit)
+                s.handler(ev);
+        }
+    }
+
+    /** Total events delivered to at least one subscriber. */
+    std::uint64_t published() const { return published_; }
+
+  private:
+    struct Sub
+    {
+        int id;
+        std::uint32_t mask;
+        Handler handler;
+    };
+
+    std::vector<Sub> subs_;
+    std::uint32_t liveMask_ = 0;  //!< OR of subscriber masks
+    int nextId_ = 1;
+    mutable std::uint64_t published_ = 0;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_TRACE_BUS_HH

@@ -1,0 +1,100 @@
+#include "trace/perfetto.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+namespace
+{
+
+/** Virtual cycles -> trace microseconds at the reference clock. */
+double
+cyclesToUs(Tick cycles, const TimingParams &timing)
+{
+    return static_cast<double>(cycles) / (timing.clockGhz * 1e3);
+}
+
+Json
+metadataEvent(int pid, int tid, const char *what, std::string name)
+{
+    Json ev = Json::object();
+    ev["name"] = what;
+    ev["ph"] = "M";
+    ev["pid"] = pid;
+    ev["tid"] = tid;
+    Json args = Json::object();
+    args["name"] = std::move(name);
+    ev["args"] = std::move(args);
+    return ev;
+}
+
+} // namespace
+
+Json
+perfettoTraceJson(const std::vector<TraceEvent> &events,
+                  const SystemConfig &config)
+{
+    Json root = Json::object();
+    Json list = Json::array();
+
+    // Coreless events (KSM daemon activity, ...) get their own
+    // pseudo-process so they do not pollute any socket's lanes.
+    const int kernelPid = config.sockets + 1;
+
+    for (int s = 0; s < config.sockets; ++s) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "socket %d", s);
+        list.push(metadataEvent(s + 1, 0, "process_name", buf));
+        for (int c = 0; c < config.coresPerSocket; ++c) {
+            const CoreId core = config.coreOf(s, c);
+            std::snprintf(buf, sizeof(buf), "core %d", core);
+            list.push(metadataEvent(s + 1, core + 1, "thread_name",
+                                    buf));
+        }
+    }
+    list.push(metadataEvent(kernelPid, 0, "process_name", "kernel"));
+
+    for (const TraceEvent &ev : events) {
+        Json out = Json::object();
+        out["name"] = traceTypeName(ev.type);
+        out["cat"] = traceCategoryName(ev.category);
+        out["ph"] = "i";
+        out["s"] = "t";  // thread-scoped instant
+        out["ts"] = cyclesToUs(ev.when, config.timing);
+        if (ev.core >= 0 && ev.core < config.numCores()) {
+            out["pid"] = config.socketOf(ev.core) + 1;
+            out["tid"] = ev.core + 1;
+        } else {
+            out["pid"] = kernelPid;
+            out["tid"] = 0;
+        }
+        Json args = Json::object();
+        args["cycles"] = ev.when;
+        if (ev.addr != 0) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(ev.addr));
+            args["addr"] = buf;
+        }
+        args["a"] = ev.a;
+        args["b"] = ev.b;
+        out["args"] = std::move(args);
+        list.push(std::move(out));
+    }
+
+    root["traceEvents"] = std::move(list);
+    root["displayTimeUnit"] = "ns";
+    return root;
+}
+
+void
+writePerfettoTrace(const std::string &path,
+                   const std::vector<TraceEvent> &events,
+                   const SystemConfig &config)
+{
+    writeJsonFile(path, perfettoTraceJson(events, config));
+}
+
+} // namespace csim

@@ -1,0 +1,66 @@
+#include "trace/query.hh"
+
+namespace csim
+{
+
+std::uint64_t
+TraceQuery::count(TraceEventType type) const
+{
+    std::uint64_t n = 0;
+    for (const TraceEvent &ev : events_)
+        n += ev.type == type;
+    return n;
+}
+
+std::uint64_t
+TraceQuery::countCategory(TraceCategory cat) const
+{
+    std::uint64_t n = 0;
+    for (const TraceEvent &ev : events_)
+        n += ev.category == cat;
+    return n;
+}
+
+std::uint64_t
+TraceQuery::countBetween(TraceEventType type, Tick begin,
+                         Tick end) const
+{
+    std::uint64_t n = 0;
+    for (const TraceEvent &ev : events_)
+        n += ev.type == type && ev.when >= begin && ev.when < end;
+    return n;
+}
+
+int
+TraceQuery::categoriesPresent() const
+{
+    std::uint32_t mask = 0;
+    for (const TraceEvent &ev : events_)
+        mask |= categoryBit(ev.category);
+    int n = 0;
+    for (; mask; mask &= mask - 1)
+        ++n;
+    return n;
+}
+
+std::string
+TraceQuery::expectSequence(
+    std::initializer_list<TraceEventType> sequence) const
+{
+    auto next = events_.begin();
+    int position = 0;
+    for (TraceEventType want : sequence) {
+        while (next != events_.end() && next->type != want)
+            ++next;
+        if (next == events_.end()) {
+            return std::string("milestone ") +
+                   std::to_string(position) + " (" +
+                   traceTypeName(want) + ") not found in order";
+        }
+        ++next;
+        ++position;
+    }
+    return "";
+}
+
+} // namespace csim

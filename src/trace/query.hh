@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small query helpers over a drained trace, for tests and benches:
+ * count events by type/category, restrict to a virtual-time window,
+ * and assert that a sequence of milestones appears in order.
+ */
+
+#ifndef COHERSIM_TRACE_QUERY_HH
+#define COHERSIM_TRACE_QUERY_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace csim
+{
+
+/** Read-only view over a drained, time-ordered event vector. */
+class TraceQuery
+{
+  public:
+    explicit TraceQuery(const std::vector<TraceEvent> &events)
+        : events_(events)
+    {}
+
+    /** Events of one concrete type. */
+    std::uint64_t count(TraceEventType type) const;
+
+    /** Events of one category. */
+    std::uint64_t countCategory(TraceCategory cat) const;
+
+    /** Events of @p type with begin <= when < end. */
+    std::uint64_t countBetween(TraceEventType type, Tick begin,
+                               Tick end) const;
+
+    /** Distinct categories present in the trace. */
+    int categoriesPresent() const;
+
+    /**
+     * Check that @p sequence occurs as a subsequence of the trace
+     * (other events may interleave). @return empty string on success,
+     * otherwise which milestone was not found.
+     */
+    std::string
+    expectSequence(std::initializer_list<TraceEventType> sequence)
+        const;
+
+    std::size_t size() const { return events_.size(); }
+
+  private:
+    const std::vector<TraceEvent> &events_;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_TRACE_QUERY_HH

@@ -1,0 +1,85 @@
+#include "trace/recorder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options{}) {}
+
+TraceRecorder::TraceRecorder(Options opts) : opts_(opts) {}
+
+TraceRecorder::~TraceRecorder()
+{
+    detach();
+}
+
+void
+TraceRecorder::attach(TraceBus &bus, int num_cores)
+{
+    fatal_if(num_cores < 1, "recorder needs at least one core");
+    detach();
+    rings_.clear();
+    // One ring per core plus the coreless ring keeps every ring SPSC.
+    for (int i = 0; i < num_cores + 1; ++i)
+        rings_.push_back(
+            std::make_unique<TraceRing>(opts_.ringCapacity));
+    bus_ = &bus;
+    subId_ = bus.subscribe(opts_.categories,
+                           [this](const TraceEvent &ev) {
+        const std::size_t last = rings_.size() - 1;
+        std::size_t idx = last;
+        if (ev.core >= 0 &&
+            static_cast<std::size_t>(ev.core) < last) {
+            idx = static_cast<std::size_t>(ev.core);
+        }
+        rings_[idx]->push(ev);
+    });
+}
+
+void
+TraceRecorder::detach()
+{
+    if (bus_) {
+        bus_->unsubscribe(subId_);
+        bus_ = nullptr;
+        subId_ = 0;
+    }
+}
+
+std::vector<TraceEvent>
+TraceRecorder::drain()
+{
+    std::vector<TraceEvent> out;
+    for (auto &ring : rings_) {
+        TraceEvent ev;
+        while (ring->pop(ev))
+            out.push_back(ev);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &x, const TraceEvent &y) {
+        return x.when < y.when;
+    });
+    return out;
+}
+
+std::uint64_t
+TraceRecorder::dropped() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ring : rings_)
+        total += ring->dropped();
+    return total;
+}
+
+std::uint64_t
+TraceRecorder::droppedOn(std::size_t ring_index) const
+{
+    if (ring_index >= rings_.size())
+        return 0;
+    return rings_[ring_index]->dropped();
+}
+
+} // namespace csim

@@ -1,0 +1,24 @@
+#include "trace/ring.hh"
+
+namespace csim
+{
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 8;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(roundUpPow2(capacity)), mask_(slots_.size() - 1)
+{
+}
+
+} // namespace csim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer trace ring buffer.
+ *
+ * The hot-path half of the recorder: pushing an event is two relaxed
+ * loads, one store and one release store — no allocation, no lock.
+ * When the ring is full the event is counted as dropped instead of
+ * blocking the simulation; exporters report the drop count so a
+ * truncated trace is never mistaken for a complete one.
+ *
+ * The producer is the simulating host thread; the consumer may be a
+ * different host thread (a live exporter) or the same thread after
+ * the run. Exactly one of each — SPSC, not MPMC.
+ */
+
+#ifndef COHERSIM_TRACE_RING_HH
+#define COHERSIM_TRACE_RING_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace csim
+{
+
+/** Fixed-capacity SPSC ring of TraceEvents with a drop counter. */
+class TraceRing
+{
+  public:
+    /** @param capacity slots; rounded up to a power of two, >= 8. */
+    explicit TraceRing(std::size_t capacity = 1u << 14);
+
+    TraceRing(const TraceRing &) = delete;
+    TraceRing &operator=(const TraceRing &) = delete;
+
+    /**
+     * Producer side: append @p ev. @return false (and count a drop)
+     * when the ring is full.
+     */
+    bool
+    push(const TraceEvent &ev)
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        const std::uint64_t head =
+            head_.load(std::memory_order_acquire);
+        if (tail - head >= slots_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[tail & mask_] = ev;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: pop the oldest event. @return false if empty. */
+    bool
+    pop(TraceEvent &out)
+    {
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return false;
+        out = slots_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Events currently buffered (racy when both sides are live). */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Events rejected because the ring was full. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<TraceEvent> slots_;
+    std::uint64_t mask_ = 0;
+    std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace csim
+
+#endif // COHERSIM_TRACE_RING_HH

@@ -13,18 +13,21 @@ namespace csim
 namespace
 {
 
-MemEvent
+TraceEvent
 flushEv(CoreId core, PAddr line, Tick when)
 {
-    return MemEvent{MemEvent::Type::flush, core, line, when,
-                    ServedBy::none};
+    return TraceEvent{TraceEventType::memFlush, TraceCategory::mem,
+                      core, when, line,
+                      static_cast<std::uint64_t>(ServedBy::none), 0};
 }
 
-MemEvent
+TraceEvent
 loadEv(CoreId core, PAddr line, Tick when)
 {
-    return MemEvent{MemEvent::Type::load, core, line, when,
-                    ServedBy::localLlc};
+    return TraceEvent{TraceEventType::memLoad, TraceCategory::mem,
+                      core, when, line,
+                      static_cast<std::uint64_t>(ServedBy::localLlc),
+                      0};
 }
 
 TEST(Detector, FlagsPeriodicAlternatingFlushTrain)
@@ -136,7 +139,7 @@ TEST(DetectorEndToEnd, FlagsTheCovertChannel)
     ExperimentRig rig(cfg, scenario.localLoaders,
                       scenario.remoteLoaders, scenario.csc);
     CoherenceChannelDetector detector;
-    detector.attach(rig.machine.mem);
+    detector.attach(rig.machine.mem.trace());
 
     Rng rng(4);
     const BitString payload = randomBits(rng, 60);
@@ -175,7 +178,7 @@ TEST(DetectorEndToEnd, QuietOnNoiseOnlyWorkloads)
     sys.seed = 78;
     Machine m(sys);
     CoherenceChannelDetector detector;
-    detector.attach(m.mem);
+    detector.attach(m.mem.trace());
     spawnNoiseAgents(m, 4, {4, 5, 8, 9}, NoiseConfig{}, 5);
     m.sched.run(3'000'000);
     EXPECT_GT(detector.eventsObserved(), 1'000u);

@@ -156,6 +156,28 @@ TEST(Json, DumpAndEscape)
     EXPECT_NE(out.find("0.5"), std::string::npos);
 }
 
+TEST(Json, EscapesControlCharacters)
+{
+    // Named escapes for the common controls, \uXXXX for the rest;
+    // backslash and quote always escaped.
+    Json j = std::string("a\tb\nc\rd\x01" "e\x1f\\\"");
+    EXPECT_EQ(j.dump(),
+              "\"a\\tb\\nc\\rd\\u0001e\\u001f\\\\\\\"\"");
+    // NUL embedded in a std::string must not truncate the output.
+    Json nul = std::string("x\0y", 3);
+    EXPECT_EQ(nul.dump(), "\"x\\u0000y\"");
+}
+
+TEST(Json, PassesUtf8Through)
+{
+    // Multi-byte UTF-8 (bytes >= 0x80) is emitted verbatim, never
+    // \u-escaped: "héllo → 世界".
+    const std::string text = "h\xc3\xa9llo \xe2\x86\x92 "
+                             "\xe4\xb8\x96\xe7\x95\x8c";
+    Json j = text;
+    EXPECT_EQ(j.dump(), "\"" + text + "\"");
+}
+
 TEST(Json, RoundTripsDoublesExactly)
 {
     Json j = 0.1 + 0.2;  // 0.30000000000000004

@@ -9,13 +9,17 @@
  *   sweep      accuracy vs transmission rate for one scenario
  *   ecc        run an error-corrected (parity + NACK) session
  *   symbols    run the 2-bit-symbol channel
+ *   trace      describe the tracing subsystem's event vocabulary
  *
  * Run `cohersim <subcommand> --help` for the options of each.
  */
 
+#include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,19 +27,28 @@
 #include "channel/ecc.hh"
 #include "channel/symbols.hh"
 #include "common/table_printer.hh"
+#include "runner/json_sink.hh"
 #include "runner/runner.hh"
+#include "trace/perfetto.hh"
+#include "trace/query.hh"
 
 namespace
 {
 
 using namespace csim;
 
-/** Minimal flag parser: --key value pairs after the subcommand. */
+/**
+ * Minimal flag parser: --key value pairs after the subcommand, plus
+ * a known set of valueless boolean switches.
+ */
 class Args
 {
   public:
-    Args(int argc, char **argv, int first)
+    Args(int argc, char **argv, int first,
+         std::initializer_list<const char *> bool_flags = {})
     {
+        const std::set<std::string> booleans(bool_flags.begin(),
+                                             bool_flags.end());
         for (int i = first; i < argc; ++i) {
             std::string key = argv[i];
             if (key.rfind("--", 0) != 0) {
@@ -45,6 +58,10 @@ class Args
             key = key.substr(2);
             if (key == "help") {
                 help = true;
+                continue;
+            }
+            if (booleans.count(key)) {
+                flags_.insert(key);
                 continue;
             }
             if (i + 1 >= argc) {
@@ -70,10 +87,16 @@ class Args
                                    : std::stol(it->second);
     }
 
+    bool flag(const std::string &key) const
+    {
+        return flags_.count(key) > 0;
+    }
+
     bool help = false;
 
   private:
     std::map<std::string, std::string> values_;
+    std::set<std::string> flags_;
 };
 
 Scenario
@@ -205,6 +228,17 @@ cmdCalibrate(const Args &args)
     return 0;
 }
 
+/** Dump a counter registry as one flat BENCH-style JSON artifact. */
+void
+writeCounters(const std::string &path, const CounterRegistry &reg)
+{
+    Json root = Json::object();
+    root["counters"] = reg.toJson();
+    writeJsonFile(path, root);
+    std::cout << "counters:  " << reg.size() << " -> " << path
+              << "\n";
+}
+
 int
 cmdTransmit(const Args &args)
 {
@@ -212,10 +246,20 @@ cmdTransmit(const Args &args)
         std::cout
             << "cohersim transmit [--message TEXT] [--bits N] "
                "[--scenario NAME|ROW] [--rate KBPS] "
-               "[--sharing explicit|ksm] [--noise N] [--seed S]\n";
+               "[--sharing explicit|ksm] [--noise N] [--seed S]\n"
+               "                  [--trace FILE] [--counters FILE]\n"
+               "  --trace FILE     capture the run and write a "
+               "Perfetto/Chrome JSON trace\n"
+               "  --counters FILE  dump the machine-wide counter "
+               "totals as JSON\n";
         return 0;
     }
     ChannelConfig cfg = parseChannel(args);
+    const std::string trace_path = args.str("trace", "");
+    const std::string counters_path = args.str("counters", "");
+    TraceRecorder recorder;
+    if (!trace_path.empty())
+        cfg.recorder = &recorder;
     const std::string message =
         args.str("message", "COHERENCE STATES LEAK");
     BitString payload;
@@ -227,6 +271,17 @@ cmdTransmit(const Args &args)
         payload = textToBits(message);
     }
     const ChannelReport rep = runCovertTransmission(cfg, payload);
+    if (!trace_path.empty()) {
+        const std::vector<TraceEvent> events = recorder.drain();
+        writePerfettoTrace(trace_path, events, cfg.system);
+        const TraceQuery query(events);
+        std::cout << "trace:     " << events.size() << " events ("
+                  << query.categoriesPresent() << " categories, "
+                  << recorder.dropped() << " dropped) -> "
+                  << trace_path << "\n";
+    }
+    if (!counters_path.empty())
+        writeCounters(counters_path, rep.counters);
     std::cout << "scenario:  " << scenarioInfo(cfg.scenario).notation
               << " over " << sharingModeName(cfg.sharing)
               << " sharing, " << cfg.noiseThreads
@@ -253,10 +308,13 @@ cmdSweep(const Args &args)
         std::cout << "cohersim sweep [--scenario NAME|ROW] "
                      "[--bits N] [--from KBPS] [--to KBPS] "
                      "[--step KBPS] [--noise N] [--seed S] "
-                     "[--jobs N]\n";
+                     "[--jobs N] [--counters FILE]\n"
+                     "  --counters FILE  dump per-rate counters and "
+                     "summed totals as JSON\n";
         return 0;
     }
     const ChannelConfig base = parseChannel(args);
+    const std::string counters_path = args.str("counters", "");
     const long from = args.num("from", 100);
     const long to = args.num("to", 1000);
     const long step = args.num("step", 100);
@@ -273,18 +331,24 @@ cmdSweep(const Args &args)
     std::vector<long> rate_list;
     for (long rate = from; rate <= to; rate += step)
         rate_list.push_back(rate);
-    std::vector<std::function<ChannelMetrics()>> jobs;
+    struct RateResult
+    {
+        ChannelMetrics metrics;
+        CounterRegistry counters;
+    };
+    std::vector<std::function<RateResult()>> jobs;
     for (long rate : rate_list) {
         jobs.push_back([&base, &cal, &payload, rate] {
             ChannelConfig cfg = base;
             cfg.params = ChannelParams::forTargetKbps(
                 static_cast<double>(rate), cfg.system.timing);
             cfg.timeout = cfg.deriveTimeout(payload.size());
-            return runCovertTransmission(cfg, payload, &cal)
-                .metrics;
+            const ChannelReport rep =
+                runCovertTransmission(cfg, payload, &cal);
+            return RateResult{rep.metrics, rep.counters};
         });
     }
-    const std::vector<ChannelMetrics> metrics =
+    const std::vector<RateResult> results =
         runJobs(std::move(jobs), opts);
 
     TablePrinter table;
@@ -292,9 +356,65 @@ cmdSweep(const Args &args)
                   "accuracy"});
     for (std::size_t i = 0; i < rate_list.size(); ++i) {
         table.row({std::to_string(rate_list[i]),
-                   TablePrinter::num(metrics[i].rawKbps),
-                   TablePrinter::num(metrics[i].effectiveKbps),
-                   TablePrinter::pct(metrics[i].accuracy)});
+                   TablePrinter::num(results[i].metrics.rawKbps),
+                   TablePrinter::num(
+                       results[i].metrics.effectiveKbps),
+                   TablePrinter::pct(results[i].metrics.accuracy)});
+    }
+    table.print(std::cout);
+
+    if (!counters_path.empty()) {
+        // Merge in submission order: totals are then bit-identical
+        // for any --jobs value.
+        CounterRegistry totals;
+        Json rates = Json::array();
+        for (std::size_t i = 0; i < rate_list.size(); ++i) {
+            totals.merge(results[i].counters);
+            Json row = Json::object();
+            row["target_kbps"] =
+                static_cast<std::int64_t>(rate_list[i]);
+            row["counters"] = results[i].counters.toJson();
+            rates.push(std::move(row));
+        }
+        Json root = Json::object();
+        root["rates"] = std::move(rates);
+        root["totals"] = totals.toJson();
+        writeJsonFile(counters_path, root);
+        std::cout << "counters: " << totals.size() << " -> "
+                  << counters_path << "\n";
+    }
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    if (args.help || !args.flag("list-categories")) {
+        std::cout
+            << "cohersim trace --list-categories\n"
+               "  list every trace category and its event types; "
+               "capture a trace with\n"
+               "  `cohersim transmit --trace FILE` and open the file "
+               "in ui.perfetto.dev\n";
+        return args.help ? 0 : 2;
+    }
+    TablePrinter table;
+    table.header({"category", "bit", "events"});
+    for (int c = 0; c < numTraceCategories; ++c) {
+        const auto cat = static_cast<TraceCategory>(c);
+        std::string names;
+        for (int t = 0;
+             t < static_cast<int>(TraceEventType::numTypes); ++t) {
+            const auto type = static_cast<TraceEventType>(t);
+            if (traceTypeCategory(type) != cat)
+                continue;
+            if (!names.empty())
+                names += " ";
+            names += traceTypeName(type);
+        }
+        char bit[16];
+        std::snprintf(bit, sizeof(bit), "0x%02x", categoryBit(cat));
+        table.row({traceCategoryName(cat), bit, names});
     }
     table.print(std::cout);
     return 0;
@@ -361,7 +481,8 @@ usage()
            "  transmit   run one covert transmission\n"
            "  sweep      accuracy vs transmission rate\n"
            "  ecc        parity + NACK retransmission session\n"
-           "  symbols    2-bit-symbol channel\n\n"
+           "  symbols    2-bit-symbol channel\n"
+           "  trace      tracing subsystem: list event categories\n\n"
            "run `cohersim <subcommand> --help` for options\n";
 }
 
@@ -375,7 +496,7 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string cmd = argv[1];
-    const Args args(argc, argv, 2);
+    const Args args(argc, argv, 2, {"list-categories"});
     if (cmd == "info")
         return cmdInfo(args);
     if (cmd == "calibrate")
@@ -388,6 +509,8 @@ main(int argc, char **argv)
         return cmdEcc(args);
     if (cmd == "symbols")
         return cmdSymbols(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
     usage();
     return 2;
 }
