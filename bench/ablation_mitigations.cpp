@@ -11,91 +11,21 @@
  *     upgrades so the LLC can answer E-state reads directly; the E
  *     and S latency bands collapse and the channel closes.
  *
- * The scenario x defense matrix runs on the parallel sweep runner
- * (`--jobs N`) and writes BENCH_ablation_mitigations.json.
+ * The defences are data: each column is a `mitigation-*` preset
+ * setting `channel.defense`, and the experiment rig deploys the
+ * defender — the same declarative path `cohersim transmit
+ * --preset mitigation-...` takes. The scenario x defense matrix runs
+ * on the parallel sweep runner (`--jobs N`) and writes
+ * BENCH_ablation_mitigations.json.
  */
 
 #include <iostream>
 
 #include "channel/channel.hh"
 #include "common/table_printer.hh"
-#include "os/kernel.hh"
+#include "config/presets.hh"
 #include "runner/json_sink.hh"
 #include "runner/runner.hh"
-
-namespace
-{
-
-using namespace csim;
-
-/** Run one transmission with an optional defender hook. */
-double
-runWithDefense(ChannelConfig cfg, const BitString &payload,
-               int defense)
-{
-    if (defense == 3)
-        cfg.system.timing.llcNotifiedOfUpgrade = true;
-    // Mitigations change the timing landscape; the adversaries get
-    // a fresh calibration either way (the strongest adversary).
-    const CalibrationResult cal =
-        calibrate(cfg.system, 300, cfg.params);
-
-    const ScenarioInfo &scenario = scenarioInfo(cfg.scenario);
-    ExperimentRig rig(cfg, scenario.localLoaders,
-                      scenario.remoteLoaders, scenario.csc);
-
-    ChannelReport report;
-    report.sent = payload;
-    if (defense == 1) {
-        // Monitor thread: watches the shared page and issues extra
-        // loads on a spare core, converting E to S under the spy.
-        Process &monitor_proc =
-            rig.machine.kernel.createProcess("monitor");
-        const VAddr watch = monitor_proc.mapPhysical(
-            {pageAlign(rig.shared.paddr)}, false);
-        const VAddr line =
-            watch + pageOffset(rig.shared.paddr);
-        rig.machine.kernel.spawnThread(
-            rig.machine.sched, "monitor",
-            cfg.system.coreOf(1, 3), monitor_proc,
-            [line](ThreadApi api) -> Task {
-                for (;;) {
-                    co_await api.load(line);
-                    co_await api.spin(900);
-                }
-            });
-    }
-    if (defense == 2 && cfg.sharing == SharingMode::ksm) {
-        // KSM guard (library feature): rate-monitor flushes on
-        // merged pages, un-merge and quarantine suspicious ones.
-        rig.machine.kernel.enableKsmGuard();
-    }
-    TrojanResult trojan;
-    SpyResult spy;
-    rig.machine.kernel.spawnThread(
-        rig.machine.sched, "trojan.ctl", rig.plan.controller,
-        *rig.trojanProc, [&](ThreadApi api) {
-            return trojanBody(api, *rig.crew, rig.shared.trojanVa,
-                              scenario, cal, cfg.params,
-                              cfg.system.timing, payload, trojan);
-        });
-    SimThread *spy_thread = rig.machine.kernel.spawnThread(
-        rig.machine.sched, "spy", rig.plan.spy, *rig.spyProc,
-        [&](ThreadApi api) {
-            return spyBody(api, rig.shared.spyVa, scenario, cal,
-                           cfg.params, spy, false);
-        });
-    rig.machine.sched.run(cfg.timeout,
-                          [&] { return spy_thread->finished; });
-    rig.crew->stopAll();
-    return computeMetrics(payload, spy.bits, trojan.txStart,
-                          trojan.txEnd ? trojan.txEnd
-                                       : rig.machine.sched.now(),
-                          cfg.system.timing)
-        .accuracy;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -105,31 +35,48 @@ main(int argc, char **argv)
     RunnerOptions opts = RunnerOptions::fromArgs(argc, argv);
     opts.label = "ablation_mitigations";
 
-    ChannelConfig base;
-    base.system.seed = 2018;
-    base.sharing = SharingMode::ksm;
     Rng rng(12);
     const BitString payload = randomBits(rng, 120);
-    // Defended runs can leave the spy polling to the safety stop;
-    // derive it from the payload (generous margin for defense-induced
-    // slowdown) instead of a magic constant.
-    base.timeout = base.deriveTimeout(payload.size(), 20.0);
+
+    // Column 0 is the undefended channel; the other columns are the
+    // three §VIII-E mitigation presets, in paper order.
+    const std::vector<const Preset *> defenses =
+        presetsWithPrefix("mitigation-");
 
     const std::vector<Scenario> scenarios = {
         Scenario::lexcC_lshB, Scenario::rexcC_lexB,
         Scenario::rshC_lshB};
-    const std::vector<int> defenses = {0, 1, 2, 3};
 
     std::cout << "== Mitigation ablations (paper Section VIII-E) "
                  "==\n\n";
 
     std::vector<std::function<double()>> jobs;
     for (Scenario sc : scenarios) {
-        for (int defense : defenses) {
-            jobs.push_back([&base, &payload, sc, defense] {
-                ChannelConfig cfg = base;
-                cfg.scenario = sc;
-                return runWithDefense(cfg, payload, defense);
+        for (std::size_t d = 0; d <= defenses.size(); ++d) {
+            const Preset *defense =
+                d == 0 ? nullptr : defenses[d - 1];
+            jobs.push_back([&payload, sc, defense] {
+                ExperimentSpec spec;
+                spec.channel.system.seed = 2018;
+                // The paper deploys the channel over KSM-merged
+                // pages; the undefended baseline matches.
+                spec.channel.sharing = SharingMode::ksm;
+                spec.channel.scenario = sc;
+                // Defended runs can leave the spy polling to the
+                // safety stop; derive it from the payload (generous
+                // margin for defense-induced slowdown).
+                spec.payload.bits =
+                    static_cast<long>(payload.size());
+                spec.timeoutMargin = 20.0;
+                if (defense)
+                    applyPreset(spec, *defense);
+                // Mitigations change the timing landscape; the
+                // adversaries get a fresh calibration either way
+                // (the strongest adversary) inside
+                // runCovertTransmission.
+                const ChannelConfig cfg = spec.toChannelConfig();
+                return runCovertTransmission(cfg, payload)
+                    .metrics.accuracy;
             });
         }
     }
@@ -138,6 +85,7 @@ main(int argc, char **argv)
     const std::vector<double> accuracies =
         runJobs(std::move(jobs), opts, &wall);
 
+    const std::size_t columns = defenses.size() + 1;
     TablePrinter table;
     table.header({"scenario", "undefended", "1: targeted noise",
                   "2: KSM timeout", "3: LLC E->M notify"});
@@ -147,12 +95,13 @@ main(int argc, char **argv)
     for (std::size_t s = 0; s < scenarios.size(); ++s) {
         std::vector<std::string> cells = {
             scenarioInfo(scenarios[s]).notation};
-        for (std::size_t d = 0; d < defenses.size(); ++d) {
-            const double acc = accuracies[s * defenses.size() + d];
+        for (std::size_t d = 0; d < columns; ++d) {
+            const double acc = accuracies[s * columns + d];
             cells.push_back(TablePrinter::pct(acc));
             Json row = Json::object();
             row["scenario"] = scenarioInfo(scenarios[s]).notation;
-            row["defense"] = defenses[d];
+            row["defense"] =
+                d == 0 ? "none" : defenses[d - 1]->name;
             row["accuracy"] = acc;
             rows.push(std::move(row));
         }

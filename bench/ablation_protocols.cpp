@@ -6,15 +6,19 @@
  * flavors, because the E-vs-S service-path asymmetry exists in all
  * of them.
  *
- * Each protocol variant (two calibrations + two transmissions) is one
- * job on the parallel sweep runner (`--jobs N`); results land in
- * BENCH_ablation_protocols.json.
+ * The variant matrix is the `proto-*` preset family (flavor x lookup
+ * x LLC inclusion) from the config subsystem — the same presets
+ * `cohersim --preset proto-...` runs, so the bench and the CLI can
+ * never drift apart. Each variant (two calibrations + two
+ * transmissions) is one job on the parallel sweep runner
+ * (`--jobs N`); results land in BENCH_ablation_protocols.json.
  */
 
 #include <iostream>
 
 #include "channel/channel.hh"
 #include "common/table_printer.hh"
+#include "config/presets.hh"
 #include "runner/json_sink.hh"
 #include "runner/runner.hh"
 
@@ -26,27 +30,8 @@ main(int argc, char **argv)
     RunnerOptions opts = RunnerOptions::fromArgs(argc, argv);
     opts.label = "ablation_protocols";
 
-    struct Variant
-    {
-        const char *name;
-        CoherenceFlavor flavor;
-        CoherenceLookup lookup;
-        bool inclusive = true;
-    };
-    const std::vector<Variant> variants = {
-        {"MESI / directory (baseline)", CoherenceFlavor::mesi,
-         CoherenceLookup::directory},
-        {"MESIF / directory (Intel)", CoherenceFlavor::mesif,
-         CoherenceLookup::directory},
-        {"MOESI / directory (AMD)", CoherenceFlavor::moesi,
-         CoherenceLookup::directory},
-        {"MESI / snoop bus", CoherenceFlavor::mesi,
-         CoherenceLookup::snoop},
-        {"MOESI / snoop bus", CoherenceFlavor::moesi,
-         CoherenceLookup::snoop},
-        {"MESI / non-inclusive LLC", CoherenceFlavor::mesi,
-         CoherenceLookup::directory, false},
-    };
+    const std::vector<const Preset *> variants =
+        presetsWithPrefix("proto-");
 
     Rng rng(15);
     const BitString payload = randomBits(rng, 150);
@@ -62,14 +47,13 @@ main(int argc, char **argv)
         double fastAccuracy = 0.0;
     };
     std::vector<std::function<Result()>> jobs;
-    for (const Variant &v : variants) {
-        jobs.push_back([&payload, v] {
-            ChannelConfig cfg;
-            cfg.system.seed = 2018;
-            cfg.system.flavor = v.flavor;
-            cfg.system.lookup = v.lookup;
-            cfg.system.llcInclusive = v.inclusive;
-            cfg.scenario = Scenario::lexcC_lshB;
+    for (const Preset *variant : variants) {
+        jobs.push_back([&payload, variant] {
+            ExperimentSpec spec;
+            spec.channel.system.seed = 2018;
+            spec.channel.scenario = Scenario::lexcC_lshB;
+            applyPreset(spec, *variant);
+            ChannelConfig cfg = spec.toChannelConfig();
             cfg.timeout = cfg.deriveTimeout(payload.size());
             const CalibrationResult cal =
                 calibrate(cfg.system, 300, cfg.params);
@@ -102,7 +86,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < variants.size(); ++i) {
         const Result &r = results[i];
         table.row(
-            {variants[i].name,
+            {variants[i]->doc,
              "[" + TablePrinter::num(r.lexc.lo, 0) + "," +
                  TablePrinter::num(r.lexc.hi, 0) + "]",
              "[" + TablePrinter::num(r.lsh.lo, 0) + "," +
@@ -110,7 +94,8 @@ main(int argc, char **argv)
              TablePrinter::pct(r.slowAccuracy),
              TablePrinter::pct(r.fastAccuracy)});
         Json row = Json::object();
-        row["protocol"] = variants[i].name;
+        row["preset"] = variants[i]->name;
+        row["protocol"] = variants[i]->doc;
         row["lexcl_lo"] = r.lexc.lo;
         row["lexcl_hi"] = r.lexc.hi;
         row["lshared_lo"] = r.lsh.lo;

@@ -10,6 +10,7 @@
 
 #include "channel/channel.hh"
 #include "common/table_printer.hh"
+#include "config/presets.hh"
 
 namespace
 {
@@ -54,10 +55,11 @@ main()
 {
     using namespace csim;
 
-    ChannelConfig cfg;
-    cfg.system.seed = 2018;
-    cfg.collectTrace = true;
-    const CalibrationResult cal = calibrate(cfg.system, 400);
+    ExperimentSpec base;
+    base.channel.system.seed = 2018;
+    base.channel.collectTrace = true;
+    const CalibrationResult cal =
+        calibrate(base.channel.system, 400);
 
     // Figure 6: the transmitted 100-bit pattern.
     Rng rng(100);
@@ -71,8 +73,13 @@ main()
     TablePrinter table;
     table.header({"scenario", "samples", "bits rx", "accuracy",
                   "rate (Kbps)"});
-    for (const ScenarioInfo &sc : allScenarios()) {
-        cfg.scenario = sc.id;
+    // Scenario rows come from the preset registry, like the CLI's
+    // --preset path.
+    for (const Preset *preset : scenarioPresets()) {
+        ExperimentSpec spec = base;
+        applyPreset(spec, *preset);
+        const ScenarioInfo &sc = scenarioInfo(spec.channel.scenario);
+        const ChannelConfig cfg = spec.toChannelConfig();
         const ChannelReport rep =
             runCovertTransmission(cfg, pattern, &cal);
         table.row({sc.notation,

@@ -5,16 +5,23 @@
  * scenarios. The rate is tuned exactly as in the paper: by shrinking
  * the spy's sampling interval and the trojan's re-load gap.
  *
- * The 6 x 10 grid of independent simulations runs on the parallel
- * sweep runner (`--jobs N`, default: all host cores); the accuracy
- * table is bit-identical for any worker count. Results are also
- * written to BENCH_fig08.json.
+ * The grid is data, not code: the `fig08-sweep` preset declares the
+ * scenario and rate axes, `expandGrid` turns it into one
+ * `ExperimentSpec` per cell, and the resolved spec is written next to
+ * the results as BENCH_fig08_manifest.json — re-runnable through
+ * `cohersim sweep --config`.
+ *
+ * The independent simulations run on the parallel sweep runner
+ * (`--jobs N`, default: all host cores); the accuracy table is
+ * bit-identical for any worker count. Results are also written to
+ * BENCH_fig08.json.
  */
 
 #include <iostream>
 
 #include "channel/channel.hh"
 #include "common/table_printer.hh"
+#include "config/resolver.hh"
 #include "runner/json_sink.hh"
 #include "runner/runner.hh"
 
@@ -26,19 +33,23 @@ main(int argc, char **argv)
     RunnerOptions opts = RunnerOptions::fromArgs(argc, argv);
     opts.label = "fig08";
 
-    ChannelConfig base;
-    base.system.seed = 2018;
-    const CalibrationResult cal = calibrate(base.system, 400);
+    ConfigResolver resolver;
+    resolver.applyOverride("system.seed", "2018", "default");
+    resolver.applyPreset("fig08-sweep");
+    resolver.dumpFile("BENCH_fig08_manifest.json");
+    const ExperimentSpec &base = resolver.spec();
+    base.validate();
+
+    const CalibrationResult cal =
+        calibrate(base.channel.system, 400);
     Rng rng(8);
-    const BitString payload = randomBits(rng, 400);
+    const BitString payload = randomBits(rng, base.payloadBits());
 
     std::cout << "== Figure 8: raw bit accuracy vs transmission "
                  "rate ==\n\n";
 
-    std::vector<double> rates;
-    for (int r = 100; r <= 1000; r += 100)
-        rates.push_back(r);
-    const auto &scenarios = allScenarios();
+    const GridAxes axes = sweepAxes(base);
+    const std::vector<ExperimentSpec> grid = expandGrid(base);
 
     struct Cell
     {
@@ -47,24 +58,14 @@ main(int argc, char **argv)
         double effectiveKbps = 0.0;
     };
     std::vector<std::function<Cell()>> jobs;
-    for (const ScenarioInfo &sc : scenarios) {
-        for (double rate : rates) {
-            jobs.push_back([&base, &cal, &payload, sc, rate] {
-                ChannelConfig cfg = base;
-                cfg.scenario = sc.id;
-                cfg.params = ChannelParams::forTargetKbps(
-                    rate, cfg.system.timing);
-                // Dead operating points (the spy never locks on)
-                // stop at a timeout derived from the payload and
-                // rate instead of a magic constant.
-                cfg.timeout = cfg.deriveTimeout(payload.size());
-                const ChannelReport rep =
-                    runCovertTransmission(cfg, payload, &cal);
-                return Cell{rep.metrics.accuracy,
-                            rep.metrics.rawKbps,
-                            rep.metrics.effectiveKbps};
-            });
-        }
+    for (const ExperimentSpec &point : grid) {
+        jobs.push_back([&point, &cal, &payload] {
+            const ChannelConfig cfg = point.toChannelConfig();
+            const ChannelReport rep =
+                runCovertTransmission(cfg, payload, &cal);
+            return Cell{rep.metrics.accuracy, rep.metrics.rawKbps,
+                        rep.metrics.effectiveKbps};
+        });
     }
 
     double wall = 0.0;
@@ -74,7 +75,7 @@ main(int argc, char **argv)
     TablePrinter table;
     {
         std::vector<std::string> header_cells = {"scenario"};
-        for (double r : rates)
+        for (double r : axes.rates)
             header_cells.push_back(
                 std::to_string(static_cast<int>(r)) + "K");
         table.row(header_cells);
@@ -82,15 +83,16 @@ main(int argc, char **argv)
     Json artifact =
         benchArtifact("fig08", opts.resolvedJobs(), wall);
     Json &rows = artifact["rows"];
-    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (std::size_t s = 0; s < axes.scenarios.size(); ++s) {
         std::vector<std::string> table_cells = {
-            scenarios[s].notation};
-        for (std::size_t r = 0; r < rates.size(); ++r) {
-            const Cell &cell = cells[s * rates.size() + r];
+            scenarioInfo(axes.scenarios[s]).notation};
+        for (std::size_t r = 0; r < axes.rates.size(); ++r) {
+            const Cell &cell = cells[s * axes.rates.size() + r];
             table_cells.push_back(TablePrinter::pct(cell.accuracy));
             Json row = Json::object();
-            row["scenario"] = scenarios[s].notation;
-            row["target_kbps"] = rates[r];
+            row["scenario"] =
+                scenarioInfo(axes.scenarios[s]).notation;
+            row["target_kbps"] = axes.rates[r];
             row["accuracy"] = cell.accuracy;
             row["raw_kbps"] = cell.rawKbps;
             row["effective_kbps"] = cell.effectiveKbps;
@@ -103,7 +105,8 @@ main(int argc, char **argv)
     std::cout << "\n[" << cells.size() << " simulations, "
               << TablePrinter::num(wall, 2) << "s wall on "
               << opts.resolvedJobs()
-              << " worker(s); BENCH_fig08.json written]\n";
+              << " worker(s); BENCH_fig08.json + "
+                 "BENCH_fig08_manifest.json written]\n";
     std::cout
         << "\nPaper: accuracy stays high up to ~500 Kbps and drops "
            "rapidly beyond; peak usable rate ~700 Kbps (binary "

@@ -4,7 +4,10 @@
  * channel is co-located with 1..8 memory-intensive kernel-build
  * processes, for all six scenarios.
  *
- * The 6 x 6 noise grid runs on the parallel sweep runner (`--jobs N`)
+ * The scenario x noise grid is declared by the `fig09-noise` preset
+ * and expanded through `expandGrid`; the resolved spec is written as
+ * BENCH_fig09_manifest.json (re-runnable via `cohersim sweep
+ * --config`). The grid runs on the parallel sweep runner (`--jobs N`)
  * and writes BENCH_fig09.json.
  */
 
@@ -12,6 +15,7 @@
 
 #include "channel/channel.hh"
 #include "common/table_printer.hh"
+#include "config/resolver.hh"
 #include "runner/json_sink.hh"
 #include "runner/runner.hh"
 
@@ -23,23 +27,28 @@ main(int argc, char **argv)
     RunnerOptions opts = RunnerOptions::fromArgs(argc, argv);
     opts.label = "fig09";
 
-    ChannelConfig base;
-    base.system.seed = 2018;
     // The channel runs near its reliable peak rate, where noise
     // effects are visible (paper Fig. 9 accompanies the Fig. 8
-    // bandwidth study).
-    base.params =
-        ChannelParams::forTargetKbps(500, base.system.timing);
+    // bandwidth study); the preset carries the rate, the noise axis
+    // and the generous timeout margin defended runs need.
+    ConfigResolver resolver;
+    resolver.applyOverride("system.seed", "2018", "default");
+    resolver.applyPreset("fig09-noise");
+    resolver.dumpFile("BENCH_fig09_manifest.json");
+    const ExperimentSpec &base = resolver.spec();
+    base.validate();
+
+    const ChannelConfig base_cfg = base.toChannelConfig();
     const CalibrationResult cal =
-        calibrate(base.system, 400, base.params);
+        calibrate(base_cfg.system, 400, base_cfg.params);
     Rng rng(9);
-    const BitString payload = randomBits(rng, 300);
+    const BitString payload = randomBits(rng, base.payloadBits());
 
     std::cout << "== Figure 9: raw bit accuracy with co-located "
                  "kernel-build noise (at ~500 Kbps) ==\n\n";
 
-    const std::vector<int> noise_levels = {0, 1, 2, 4, 6, 8};
-    const auto &scenarios = allScenarios();
+    const GridAxes axes = sweepAxes(base);
+    const std::vector<ExperimentSpec> grid = expandGrid(base);
 
     struct Cell
     {
@@ -47,21 +56,14 @@ main(int argc, char **argv)
         double effectiveKbps = 0.0;
     };
     std::vector<std::function<Cell()>> jobs;
-    for (const ScenarioInfo &sc : scenarios) {
-        for (int noise : noise_levels) {
-            jobs.push_back([&base, &cal, &payload, sc, noise] {
-                ChannelConfig cfg = base;
-                cfg.scenario = sc.id;
-                cfg.noiseThreads = noise;
-                // Noise stretches sample periods via queueing, so
-                // give the derived timeout extra margin.
-                cfg.timeout = cfg.deriveTimeout(payload.size(), 20.0);
-                const ChannelReport rep =
-                    runCovertTransmission(cfg, payload, &cal);
-                return Cell{rep.metrics.accuracy,
-                            rep.metrics.effectiveKbps};
-            });
-        }
+    for (const ExperimentSpec &point : grid) {
+        jobs.push_back([&point, &cal, &payload] {
+            const ChannelConfig cfg = point.toChannelConfig();
+            const ChannelReport rep =
+                runCovertTransmission(cfg, payload, &cal);
+            return Cell{rep.metrics.accuracy,
+                        rep.metrics.effectiveKbps};
+        });
     }
 
     double wall = 0.0;
@@ -69,19 +71,26 @@ main(int argc, char **argv)
         runJobs(std::move(jobs), opts, &wall);
 
     TablePrinter table;
-    table.header({"scenario", "0", "1", "2", "4", "6", "8"});
+    {
+        std::vector<std::string> header = {"scenario"};
+        for (int n : axes.noiseLevels)
+            header.push_back(std::to_string(n));
+        table.row(header);
+    }
     Json artifact =
         benchArtifact("fig09", opts.resolvedJobs(), wall);
     Json &rows = artifact["rows"];
-    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (std::size_t s = 0; s < axes.scenarios.size(); ++s) {
         std::vector<std::string> table_cells = {
-            scenarios[s].notation};
-        for (std::size_t n = 0; n < noise_levels.size(); ++n) {
-            const Cell &cell = cells[s * noise_levels.size() + n];
+            scenarioInfo(axes.scenarios[s]).notation};
+        for (std::size_t n = 0; n < axes.noiseLevels.size(); ++n) {
+            const Cell &cell =
+                cells[s * axes.noiseLevels.size() + n];
             table_cells.push_back(TablePrinter::pct(cell.accuracy));
             Json row = Json::object();
-            row["scenario"] = scenarios[s].notation;
-            row["noise_threads"] = noise_levels[n];
+            row["scenario"] =
+                scenarioInfo(axes.scenarios[s]).notation;
+            row["noise_threads"] = axes.noiseLevels[n];
             row["accuracy"] = cell.accuracy;
             row["effective_kbps"] = cell.effectiveKbps;
             rows.push(std::move(row));
@@ -93,7 +102,8 @@ main(int argc, char **argv)
     std::cout << "\n[" << cells.size() << " simulations, "
               << TablePrinter::num(wall, 2) << "s wall on "
               << opts.resolvedJobs()
-              << " worker(s); BENCH_fig09.json written]\n";
+              << " worker(s); BENCH_fig09.json + "
+                 "BENCH_fig09_manifest.json written]\n";
     std::cout
         << "\nPaper: above 90% average accuracy up to 6 background "
            "processes; 11-23% raw bit error increase with 8. "

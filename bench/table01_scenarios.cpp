@@ -10,15 +10,17 @@
 
 #include "channel/channel.hh"
 #include "common/table_printer.hh"
+#include "config/presets.hh"
 
 int
 main()
 {
     using namespace csim;
 
-    ChannelConfig cfg;
-    cfg.system.seed = 2018;
-    const CalibrationResult cal = calibrate(cfg.system, 400);
+    ExperimentSpec base;
+    base.channel.system.seed = 2018;
+    const CalibrationResult cal =
+        calibrate(base.channel.system, 400);
 
     std::cout << "== Table I: trojan implementations ==\n\n";
     TablePrinter table;
@@ -26,8 +28,13 @@ main()
                   "placement", "sync (ms)", "accuracy"});
     Rng rng(77);
     const BitString payload = randomBits(rng, 60);
-    for (const ScenarioInfo &sc : allScenarios()) {
-        cfg.scenario = sc.id;
+    // The scenario rows come from the preset registry — the same
+    // data `cohersim transmit --preset <notation>` resolves.
+    for (const Preset *preset : scenarioPresets()) {
+        ExperimentSpec spec = base;
+        applyPreset(spec, *preset);
+        const ScenarioInfo &sc = scenarioInfo(spec.channel.scenario);
+        const ChannelConfig cfg = spec.toChannelConfig();
         const ChannelReport rep =
             runCovertTransmission(cfg, payload, &cal);
         const std::string threads =

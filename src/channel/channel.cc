@@ -6,6 +6,18 @@
 namespace csim
 {
 
+const char *
+defenseName(Defense d)
+{
+    switch (d) {
+      case Defense::none: return "none";
+      case Defense::targetedNoise: return "targeted-noise";
+      case Defense::ksmGuard: return "ksm-guard";
+      case Defense::llcNotify: return "llc-notify";
+    }
+    return "?";
+}
+
 Tick
 ChannelConfig::deriveTimeout(std::size_t payload_bits,
                              double margin) const
@@ -104,6 +116,30 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
     crew = std::make_unique<PlacerCrew>(machine.kernel, machine.sched,
                                         *trojanProc, local_cores,
                                         remote_cores, cfg.params);
+    // Runtime defences (§VIII-E techniques 1 and 2). Technique 3 is
+    // a timing-model change; see runCovertTransmission.
+    if (cfg.defense == Defense::targetedNoise) {
+        // Monitor thread: watches the shared page from a spare core
+        // and issues extra loads, converting E-state blocks to S
+        // under the spy's feet.
+        Process &monitor_proc =
+            machine.kernel.createProcess("monitor");
+        const VAddr watch = monitor_proc.mapPhysical(
+            {pageAlign(shared.paddr)}, false);
+        const VAddr line = watch + pageOffset(shared.paddr);
+        machine.kernel.spawnThread(
+            machine.sched, "monitor", cfg.system.coreOf(1, 3),
+            monitor_proc, [line](ThreadApi api) -> Task {
+                for (;;) {
+                    co_await api.load(line);
+                    co_await api.spin(900);
+                }
+            });
+    }
+    if (cfg.defense == Defense::ksmGuard &&
+        cfg.sharing == SharingMode::ksm) {
+        machine.kernel.enableKsmGuard();
+    }
 }
 
 ExperimentRig::~ExperimentRig()
@@ -113,10 +149,16 @@ ExperimentRig::~ExperimentRig()
 }
 
 ChannelReport
-runCovertTransmission(const ChannelConfig &cfg,
+runCovertTransmission(const ChannelConfig &cfg_in,
                       const BitString &payload,
                       const CalibrationResult *cal)
 {
+    // The llc-notify defence is a hardware change: apply it to the
+    // timing model before anything (calibration included) samples it.
+    ChannelConfig cfg = cfg_in;
+    if (cfg.defense == Defense::llcNotify)
+        cfg.system.timing.llcNotifiedOfUpgrade = true;
+
     // The adversaries calibrate bands through self-measurement ahead
     // of time (paper §VII-B) — on a quiet machine.
     CalibrationResult local_cal;

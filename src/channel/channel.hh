@@ -30,6 +30,25 @@
 namespace csim
 {
 
+/**
+ * Deployed defence against the channel (paper §VIII-E). The first two
+ * are software techniques the experiment rig activates at runtime;
+ * the third is the hardware change modelled by
+ * TimingParams::llcNotifiedOfUpgrade.
+ */
+enum class Defense : std::uint8_t
+{
+    none,
+    /** A monitor thread re-loads the shared page, turning E into S. */
+    targetedNoise,
+    /** KsmGuard un-merges pages with suspicious flush rates. */
+    ksmGuard,
+    /** LLC learns of E->M upgrades and serves E-state reads itself. */
+    llcNotify,
+};
+
+const char *defenseName(Defense d);
+
 /** Configuration of one covert-channel experiment. */
 struct ChannelConfig
 {
@@ -40,6 +59,8 @@ struct ChannelConfig
     /** Co-located kernel-build noise threads (paper Fig. 9). */
     int noiseThreads = 0;
     NoiseConfig noise;
+    /** Defence deployed against the adversaries (§VIII-E). */
+    Defense defense = Defense::none;
     /** Record the spy's raw latency trace (paper Fig. 7). */
     bool collectTrace = false;
     /**

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reflection-style field registry over `ExperimentSpec`: one
+ * `FieldDef` per configurable knob, carrying the dotted name, the
+ * type, the default, the valid range (or choice list), a doc string
+ * and typed accessors. The registry is the single source of truth
+ * for validation, JSON (de)serialization, CLI overrides and the
+ * `cohersim info --fields` listing, so every consumer rejects the
+ * same unknown keys and reports the same range errors.
+ */
+
+#ifndef COHERSIM_CONFIG_FIELD_REGISTRY_HH
+#define COHERSIM_CONFIG_FIELD_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "config/experiment_spec.hh"
+
+namespace csim
+{
+
+class Json;
+
+/** A field value in transit (parsed but not yet applied). */
+using FieldValue =
+    std::variant<bool, std::int64_t, double, std::string>;
+
+/** One configurable knob of an ExperimentSpec. */
+struct FieldDef
+{
+    enum class Type : std::uint8_t
+    {
+        boolean,
+        integer,
+        real,
+        text,
+        choice,  //!< string restricted to `choices`
+    };
+
+    std::string name;  //!< dotted path, e.g. "system.timing.l1_hit"
+    Type type = Type::integer;
+    std::string doc;
+    /** Inclusive bounds for integer/real fields. */
+    double min = 0.0;
+    double max = 0.0;
+    /** Accepted values for choice fields (canonical spellings). */
+    std::vector<std::string> choices;
+    /** Short CLI spellings (e.g. "rate" for "channel.rate_kbps"). */
+    std::vector<std::string> aliases;
+
+    std::function<FieldValue(const ExperimentSpec &)> get;
+    std::function<void(ExperimentSpec &, const FieldValue &)> set;
+
+    /** Render a value the way the CLI/provenance tables print it. */
+    std::string format(const FieldValue &value) const;
+};
+
+/** Short type tag for field listings ("int", "real", "choice"...). */
+const char *fieldTypeName(FieldDef::Type t);
+
+/** The registry: every field of ExperimentSpec, in dump order. */
+class FieldRegistry
+{
+  public:
+    static const FieldRegistry &instance();
+
+    const std::vector<FieldDef> &fields() const { return fields_; }
+
+    /** Lookup by canonical name or alias; null when unknown. */
+    const FieldDef *find(const std::string &name) const;
+
+    /**
+     * Parse a CLI-style string into a validated value for @p field.
+     * Throws ConfigError naming the field, the offending value and
+     * the accepted range/choices.
+     */
+    FieldValue parse(const FieldDef &field,
+                     const std::string &text) const;
+
+    /** Same, from a JSON scalar (type-checked, range-checked). */
+    FieldValue fromJson(const FieldDef &field, const Json &value,
+                        const std::string &source) const;
+
+    /** Range/choice check of an already-typed value. */
+    void check(const FieldDef &field, const FieldValue &value) const;
+
+    /** Convert a field's current value to a JSON scalar. */
+    Json toJson(const FieldDef &field,
+                const ExperimentSpec &spec) const;
+
+    /**
+     * The "unknown key" error message: names @p key, suggests the
+     * nearest field when one is plausibly close, and points at
+     * `cohersim info --fields`.
+     */
+    std::string unknownKeyMessage(const std::string &key,
+                                  const std::string &source) const;
+
+  private:
+    FieldRegistry();
+
+    std::vector<FieldDef> fields_;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_CONFIG_FIELD_REGISTRY_HH

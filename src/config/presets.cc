@@ -1,0 +1,182 @@
+#include "config/presets.hh"
+
+#include "common/logging.hh"
+#include "config/field_registry.hh"
+
+namespace csim
+{
+
+namespace
+{
+
+std::vector<Preset>
+buildPresets()
+{
+    std::vector<Preset> presets;
+
+    // Table I scenarios, by paper notation (and row number via
+    // scenarioFromName). The preset body is one data line; the
+    // loaders, combos and placement all follow from the scenario.
+    for (const ScenarioInfo &sc : allScenarios()) {
+        presets.push_back(
+            {sc.notation,
+             msgCat("Table I row ",
+                    static_cast<int>(sc.id) + 1, ": CSc=",
+                    comboName(sc.csc), ", CSb=",
+                    comboName(sc.csb)),
+             {{"channel.scenario", sc.notation}}});
+    }
+
+    // §VIII-E mitigations. Deployed in the paper's KSM setting (the
+    // deduplication channel is what two of the three defences
+    // police), hence channel.sharing = ksm in all three.
+    presets.push_back(
+        {"mitigation-targeted-noise",
+         "§VIII-E technique 1: a monitor thread re-loads shared "
+         "pages, turning E into S under the spy",
+         {{"channel.sharing", "ksm"},
+          {"channel.defense", "targeted-noise"}}});
+    presets.push_back(
+        {"mitigation-ksm-guard",
+         "§VIII-E technique 2: un-merge shared pages with "
+         "suspicious flush rates",
+         {{"channel.sharing", "ksm"},
+          {"channel.defense", "ksm-guard"}}});
+    presets.push_back(
+        {"mitigation-llc-notify",
+         "§VIII-E technique 3: the LLC learns of E->M upgrades and "
+         "serves E-state reads itself",
+         {{"channel.sharing", "ksm"},
+          {"channel.defense", "llc-notify"}}});
+
+    // The protocol-flavor x lookup x inclusion matrix from
+    // bench/ablation_protocols, in the bench's row order.
+    presets.push_back({"proto-mesi-dir",
+                       "MESI / directory (baseline)",
+                       {{"system.flavor", "mesi"},
+                        {"system.lookup", "directory"},
+                        {"system.llc_inclusive", "true"}}});
+    presets.push_back({"proto-mesif-dir",
+                       "MESIF / directory (Intel)",
+                       {{"system.flavor", "mesif"},
+                        {"system.lookup", "directory"},
+                        {"system.llc_inclusive", "true"}}});
+    presets.push_back({"proto-moesi-dir",
+                       "MOESI / directory (AMD)",
+                       {{"system.flavor", "moesi"},
+                        {"system.lookup", "directory"},
+                        {"system.llc_inclusive", "true"}}});
+    presets.push_back({"proto-mesi-snoop",
+                       "MESI / snoop bus",
+                       {{"system.flavor", "mesi"},
+                        {"system.lookup", "snoop"},
+                        {"system.llc_inclusive", "true"}}});
+    presets.push_back({"proto-moesi-snoop",
+                       "MOESI / snoop bus",
+                       {{"system.flavor", "moesi"},
+                        {"system.lookup", "snoop"},
+                        {"system.llc_inclusive", "true"}}});
+    presets.push_back({"proto-mesi-noninclusive",
+                       "MESI / non-inclusive LLC",
+                       {{"system.flavor", "mesi"},
+                        {"system.lookup", "directory"},
+                        {"system.llc_inclusive", "false"}}});
+
+    // Bench sweep grids.
+    presets.push_back(
+        {"fig08-sweep",
+         "Figure 8 grid: all scenarios x 100..1000 Kbps",
+         {{"sweep.scenarios", "all"},
+          {"sweep.from_kbps", "100"},
+          {"sweep.to_kbps", "1000"},
+          {"sweep.step_kbps", "100"},
+          {"payload.bits", "400"},
+          {"channel.timeout_margin", "10"}}});
+    presets.push_back(
+        {"fig09-noise",
+         "Figure 9 grid: all scenarios x 0..8 noise threads at "
+         "~500 Kbps",
+         {{"sweep.scenarios", "all"},
+          {"channel.rate_kbps", "500"},
+          {"sweep.noise_levels", "0,1,2,4,6,8"},
+          {"payload.bits", "300"},
+          {"channel.timeout_margin", "20"}}});
+
+    return presets;
+}
+
+} // namespace
+
+const std::vector<Preset> &
+allPresets()
+{
+    static const std::vector<Preset> presets = buildPresets();
+    return presets;
+}
+
+const Preset *
+findPreset(const std::string &name)
+{
+    for (const Preset &p : allPresets()) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+std::vector<const Preset *>
+presetsWithPrefix(const std::string &prefix)
+{
+    std::vector<const Preset *> out;
+    for (const Preset &p : allPresets()) {
+        if (p.name.rfind(prefix, 0) == 0)
+            out.push_back(&p);
+    }
+    return out;
+}
+
+std::vector<const Preset *>
+scenarioPresets()
+{
+    std::vector<const Preset *> out;
+    for (const ScenarioInfo &sc : allScenarios())
+        out.push_back(findPreset(sc.notation));
+    return out;
+}
+
+void
+applyPreset(ExperimentSpec &spec, const Preset &preset)
+{
+    const FieldRegistry &reg = FieldRegistry::instance();
+    for (const auto &[key, value] : preset.settings) {
+        const FieldDef *field = reg.find(key);
+        if (!field)
+            throw ConfigError(reg.unknownKeyMessage(
+                key, msgCat("preset '", preset.name, "'")));
+        field->set(spec, reg.parse(*field, value));
+    }
+}
+
+Scenario
+scenarioFromName(const std::string &name)
+{
+    for (const ScenarioInfo &sc : allScenarios()) {
+        if (name == sc.notation)
+            return sc.id;
+    }
+    if (name.size() == 1 && name[0] >= '1' && name[0] <= '6')
+        return allScenarios()[name[0] - '1'].id;
+
+    std::string accepted;
+    for (const ScenarioInfo &sc : allScenarios()) {
+        if (!accepted.empty())
+            accepted += ", ";
+        accepted += sc.notation;
+    }
+    throw ConfigError(msgCat(
+        "unknown scenario '", name,
+        "'; use a Table I notation (", accepted,
+        ") or a row number 1-6"));
+}
+
+} // namespace csim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Named experiment presets: the single home of every scenario the
+ * repo ships. A preset is a short list of (field, value) settings
+ * applied through the field registry, so presets validate exactly
+ * like config files and CLI overrides do.
+ *
+ * Shipped presets:
+ *  - the six Table I attack scenarios, by paper notation;
+ *  - the three §VIII-E mitigations (mitigation-*);
+ *  - the protocol-flavor × lookup × inclusion matrix (proto-*)
+ *    from bench/ablation_protocols;
+ *  - the bench sweep grids (fig08-sweep, fig09-noise).
+ */
+
+#ifndef COHERSIM_CONFIG_PRESETS_HH
+#define COHERSIM_CONFIG_PRESETS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/experiment_spec.hh"
+
+namespace csim
+{
+
+/** One named preset: field settings in CLI string form. */
+struct Preset
+{
+    std::string name;
+    std::string doc;
+    std::vector<std::pair<std::string, std::string>> settings;
+};
+
+/** Every shipped preset, in display order. */
+const std::vector<Preset> &allPresets();
+
+/** Lookup by name; null when unknown. */
+const Preset *findPreset(const std::string &name);
+
+/** Presets whose name starts with @p prefix, in registry order. */
+std::vector<const Preset *>
+presetsWithPrefix(const std::string &prefix);
+
+/** The six Table I scenario presets, in table order. */
+std::vector<const Preset *> scenarioPresets();
+
+/** Apply a preset's settings to @p spec (registry-validated). */
+void applyPreset(ExperimentSpec &spec, const Preset &preset);
+
+/**
+ * Centralized scenario-name parsing: a Table I notation
+ * (e.g. "RExclc-LSharedb") or a row number "1".."6". Throws
+ * ConfigError listing the accepted names otherwise.
+ */
+Scenario scenarioFromName(const std::string &name);
+
+} // namespace csim
+
+#endif // COHERSIM_CONFIG_PRESETS_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Layered configuration resolution with provenance. A resolver
+ * starts from the built-in defaults and applies layers in increasing
+ * precedence — named preset, config file, CLI overrides — recording
+ * for every field where its final value came from, so
+ * `cohersim info --config` can show exactly which layer set what.
+ */
+
+#ifndef COHERSIM_CONFIG_RESOLVER_HH
+#define COHERSIM_CONFIG_RESOLVER_HH
+
+#include <map>
+#include <string>
+
+#include "config/experiment_spec.hh"
+#include "config/field_registry.hh"
+
+namespace csim
+{
+
+class ConfigResolver
+{
+  public:
+    /** Starts from built-in defaults (provenance "default"). */
+    ConfigResolver() = default;
+
+    /** Apply a named preset; throws ConfigError when unknown. */
+    void applyPreset(const std::string &name);
+
+    /**
+     * Apply a JSON config document: nested objects mirror the dotted
+     * field names ({"system": {"flavor": ...}} sets system.flavor).
+     * A top-level "preset" string names a preset applied before the
+     * file's own settings. Unknown keys and out-of-range values
+     * throw ConfigError naming the key. @p source labels provenance
+     * (usually "file:<path>").
+     */
+    void applyJson(const Json &root, const std::string &source);
+
+    /** Read @p path and applyJson with source "file:<path>". */
+    void applyFile(const std::string &path);
+
+    /**
+     * Apply one `--key value` override. @p key may be a canonical
+     * dotted name or a CLI alias. Throws ConfigError (with the
+     * accepted-keys message) when the key is unknown.
+     */
+    void applyOverride(const std::string &key,
+                       const std::string &value,
+                       const std::string &source);
+
+    const ExperimentSpec &spec() const { return spec_; }
+
+    /** Where a field's current value came from ("default" if unset). */
+    const std::string &provenance(const std::string &field) const;
+
+    /**
+     * Full nested dump of every field in registry order. Feeding the
+     * result back through applyJson reproduces the spec bit-exactly,
+     * so a dump is a complete, re-runnable experiment manifest.
+     */
+    Json toJson() const;
+
+    /** Write toJson() to @p path. */
+    void dumpFile(const std::string &path) const;
+
+  private:
+    ExperimentSpec spec_;
+    std::map<std::string, std::string> provenance_;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_CONFIG_RESOLVER_HH

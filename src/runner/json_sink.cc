@@ -150,6 +150,340 @@ Json::dump() const
     return os.str();
 }
 
+bool
+Json::asBool() const
+{
+    panic_if(kind_ != Kind::boolean, "Json::asBool on a non-boolean");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    panic_if(kind_ != Kind::integer, "Json::asInt on a non-integer");
+    return int_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::integer)
+        return static_cast<double>(int_);
+    panic_if(kind_ != Kind::number, "Json::asDouble on a non-number");
+    return num_;
+}
+
+const std::string &
+Json::asString() const
+{
+    panic_if(kind_ != Kind::string, "Json::asString on a non-string");
+    return str_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    static const std::vector<Json> empty;
+    return kind_ == Kind::array ? arr_ : empty;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::entries() const
+{
+    static const std::vector<std::pair<std::string, Json>> empty;
+    return kind_ == Kind::object ? obj_ : empty;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the strict JSON grammar. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        Json value = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing content after the JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        int line = 1, column = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        throw JsonParseError(msgCat(what, " at line ", line,
+                                    ", column ", column),
+                             line, column);
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        if (next() != c)
+            fail(msgCat("expected '", c, "'"));
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (atEnd() || text_[pos_] != *p)
+                fail(msgCat("invalid literal (expected \"", word,
+                            "\")"));
+            ++pos_;
+        }
+    }
+
+    Json
+    parseValue()
+    {
+        skipWhitespace();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't': literal("true"); return Json(true);
+          case 'f': literal("false"); return Json(false);
+          case 'n': literal("null"); return Json(nullptr);
+          default: return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("expected an object key string");
+            const std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            obj[key] = parseValue();
+            skipWhitespace();
+            const char c = next();
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            skipWhitespace();
+            const char c = next();
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = next();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = next();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = next();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape");
+                }
+                // The writer only ever \u-escapes controls; decode
+                // the Basic Latin range and encode the rest of the
+                // BMP as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("unknown escape sequence");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        bool floating = false;
+        if (!atEnd() && text_[pos_] == '-')
+            ++pos_;
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                floating = floating || c == '.' || c == 'e' ||
+                           c == 'E';
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token =
+            text_.substr(start, pos_ - start);
+        try {
+            if (!floating)
+                return Json(
+                    static_cast<std::int64_t>(std::stoll(token)));
+            return Json(std::stod(token));
+        } catch (const std::logic_error &) {
+            // Integer overflow (or a stray sign): fall back to
+            // double, then report truly malformed tokens.
+            try {
+                return Json(std::stod(token));
+            } catch (const std::logic_error &) {
+                fail(msgCat("malformed number \"", token, "\""));
+            }
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+Json
+readJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open ", path, " for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return parseJson(buf.str());
+    } catch (const JsonParseError &e) {
+        throw JsonParseError(msgCat(path, ": ", e.what()), e.line,
+                             e.column);
+    }
+}
+
 void
 writeJsonFile(const std::string &path, const Json &root)
 {

@@ -1,12 +1,14 @@
 /**
  * @file
- * Structured result sink for sweeps: a minimal JSON value tree plus a
- * file writer. Every converted bench emits one `BENCH_<name>.json`
- * artifact per run so the accuracy/rate tables feed the performance
- * trajectory without scraping console tables.
+ * Structured result sink for sweeps: a minimal JSON value tree, a
+ * file writer and a matching reader. Every converted bench emits one
+ * `BENCH_<name>.json` artifact per run so the accuracy/rate tables
+ * feed the performance trajectory without scraping console tables;
+ * the reader lets experiment configs (`src/config`) round-trip
+ * through the same representation.
  *
  * Deliberately tiny (objects, arrays, strings, numbers, bools) — no
- * parsing, no external dependency.
+ * external dependency.
  */
 
 #ifndef COHERSIM_RUNNER_JSON_SINK_HH
@@ -15,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +29,17 @@ namespace csim
 class Json
 {
   public:
+    enum class Kind : std::uint8_t
+    {
+        null,
+        boolean,
+        integer,
+        number,
+        string,
+        array,
+        object,
+    };
+
     Json() : kind_(Kind::null) {}
     Json(std::nullptr_t) : kind_(Kind::null) {}
     Json(bool b) : kind_(Kind::boolean), bool_(b) {}
@@ -53,18 +67,40 @@ class Json
     void dump(std::ostream &os, int indent = 0) const;
     std::string dump() const;
 
-  private:
-    enum class Kind : std::uint8_t
+    /** @name Read access (for parsed documents) */
+    /** @{ */
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::null; }
+    bool isBool() const { return kind_ == Kind::boolean; }
+    bool isInt() const { return kind_ == Kind::integer; }
+    /** Integer or floating number. */
+    bool
+    isNumber() const
     {
-        null,
-        boolean,
-        integer,
-        number,
-        string,
-        array,
-        object,
-    };
+        return kind_ == Kind::integer || kind_ == Kind::number;
+    }
+    bool isString() const { return kind_ == Kind::string; }
+    bool isArray() const { return kind_ == Kind::array; }
+    bool isObject() const { return kind_ == Kind::object; }
 
+    /** Typed extraction; panics when the kind does not match. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    /** Accepts both integer and floating values. */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Object member lookup; null when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Array elements (empty unless an array). */
+    const std::vector<Json> &items() const;
+
+    /** Object members in insertion order (empty unless an object). */
+    const std::vector<std::pair<std::string, Json>> &entries() const;
+    /** @} */
+
+  private:
     static void escape(std::ostream &os, const std::string &s);
 
     Kind kind_;
@@ -75,6 +111,31 @@ class Json
     std::vector<Json> arr_;
     std::vector<std::pair<std::string, Json>> obj_;
 };
+
+/** Syntax error from parseJson(), with 1-based line/column. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, int line, int column)
+        : std::runtime_error(what), line(line), column(column)
+    {
+    }
+
+    int line;
+    int column;
+};
+
+/**
+ * Parse one JSON document (strict grammar, UTF-8 passed through,
+ * \uXXXX escapes limited to the Basic Latin range the writer emits).
+ * Numbers without '.', 'e' or 'E' parse as integers, everything else
+ * as doubles, so a dump() → parseJson() round trip preserves values
+ * bit-exactly. Throws JsonParseError on malformed input.
+ */
+Json parseJson(const std::string &text);
+
+/** Read and parse @p path; fatal() when unreadable. */
+Json readJsonFile(const std::string &path);
 
 /**
  * Write @p root to @p path (atomically enough for bench artifacts:

@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Tests for the declarative experiment-config subsystem: the field
+ * registry (validation, unknown keys, ranges), JSON round trips
+ * through the parser, layered resolution with provenance, grid
+ * expansion, and — the regression anchor — that every shipped preset
+ * validates and builds a runnable machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "channel/channel.hh"
+#include "config/presets.hh"
+#include "config/resolver.hh"
+#include "os/kernel.hh"
+#include "runner/json_sink.hh"
+
+namespace csim
+{
+namespace
+{
+
+// --- JSON parser ------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsAndContainers)
+{
+    const Json root = parseJson(
+        "{\"a\": 1, \"b\": -2.5, \"c\": true, \"d\": null, "
+        "\"e\": \"text\", \"f\": [1, 2, 3], \"g\": {\"h\": 0}}");
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(root.find("a")->asInt(), 1);
+    EXPECT_DOUBLE_EQ(root.find("b")->asDouble(), -2.5);
+    EXPECT_TRUE(root.find("c")->asBool());
+    EXPECT_TRUE(root.find("d")->isNull());
+    EXPECT_EQ(root.find("e")->asString(), "text");
+    ASSERT_TRUE(root.find("f")->isArray());
+    EXPECT_EQ(root.find("f")->items().size(), 3u);
+    EXPECT_EQ(root.find("g")->find("h")->asInt(), 0);
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonParser, KeepsIntegersAndDoublesApart)
+{
+    const Json root = parseJson("{\"i\": 42, \"d\": 42.0}");
+    EXPECT_TRUE(root.find("i")->isInt());
+    EXPECT_FALSE(root.find("d")->isInt());
+    EXPECT_TRUE(root.find("d")->isNumber());
+}
+
+TEST(JsonParser, DecodesStringEscapes)
+{
+    const Json root =
+        parseJson("{\"s\": \"a\\n\\\"b\\\"\\u0041\"}");
+    EXPECT_EQ(root.find("s")->asString(), "a\n\"b\"A");
+}
+
+TEST(JsonParser, ReportsLineAndColumn)
+{
+    try {
+        parseJson("{\n  \"a\": 1,\n  oops\n}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.line, 3);
+        EXPECT_GT(e.column, 0);
+    }
+}
+
+TEST(JsonParser, RejectsTrailingContent)
+{
+    EXPECT_THROW(parseJson("{} extra"), JsonParseError);
+    EXPECT_THROW(parseJson("[1, 2,]"), JsonParseError);
+    EXPECT_THROW(parseJson(""), JsonParseError);
+}
+
+TEST(JsonParser, RoundTripsDump)
+{
+    Json root = Json::object();
+    root["int"] = std::int64_t{1234567890123};
+    root["real"] = 0.1;
+    root["text"] = "line\nbreak";
+    root["flag"] = false;
+    const Json again = parseJson(root.dump());
+    EXPECT_EQ(again.dump(), root.dump());
+    EXPECT_DOUBLE_EQ(again.find("real")->asDouble(), 0.1);
+}
+
+// --- field registry ---------------------------------------------------
+
+TEST(FieldRegistry, FindsFieldsByNameAndAlias)
+{
+    const FieldRegistry &reg = FieldRegistry::instance();
+    const FieldDef *by_name = reg.find("channel.rate_kbps");
+    const FieldDef *by_alias = reg.find("rate");
+    ASSERT_NE(by_name, nullptr);
+    EXPECT_EQ(by_name, by_alias);
+    EXPECT_EQ(reg.find("no.such.key"), nullptr);
+}
+
+TEST(FieldRegistry, RejectsOutOfRangeValues)
+{
+    ConfigResolver res;
+    try {
+        res.applyOverride("system.sockets", "99", "cli");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("system.sockets"), std::string::npos);
+        EXPECT_NE(msg.find("99"), std::string::npos);
+        EXPECT_NE(msg.find("[2, 8]"), std::string::npos);
+    }
+}
+
+TEST(FieldRegistry, RejectsBadChoices)
+{
+    ConfigResolver res;
+    try {
+        res.applyOverride("system.flavor", "mesix", "cli");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("mesix"), std::string::npos);
+        EXPECT_NE(msg.find("moesi"), std::string::npos);
+    }
+}
+
+TEST(FieldRegistry, UnknownKeySuggestsNearestField)
+{
+    ConfigResolver res;
+    try {
+        res.applyOverride("flavour", "mesif", "cli");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown config key 'flavour'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("system.flavor"), std::string::npos);
+        EXPECT_NE(msg.find("info --fields"), std::string::npos);
+    }
+}
+
+TEST(FieldRegistry, ParsesScenarioRowNumbers)
+{
+    ConfigResolver res;
+    res.applyOverride("scenario", "4", "cli");
+    EXPECT_EQ(res.spec().channel.scenario, Scenario::rexcC_lshB);
+    res.applyOverride("scenario", "RSharedc-LExclb", "cli");
+    EXPECT_EQ(res.spec().channel.scenario, Scenario::rshC_lexB);
+    EXPECT_THROW(res.applyOverride("scenario", "7", "cli"),
+                 ConfigError);
+}
+
+TEST(FieldRegistry, RejectsTypeMismatchesFromJson)
+{
+    ConfigResolver res;
+    EXPECT_THROW(
+        res.applyJson(parseJson("{\"system\": {\"seed\": \"x\"}}"),
+                      "test"),
+        ConfigError);
+    EXPECT_THROW(
+        res.applyJson(
+            parseJson("{\"system\": {\"llc_inclusive\": 1}}"),
+            "test"),
+        ConfigError);
+    // Integer fields accept integers only, not floats.
+    EXPECT_THROW(
+        res.applyJson(parseJson("{\"system\": {\"seed\": 1.5}}"),
+                      "test"),
+        ConfigError);
+    // Real fields accept both.
+    res.applyJson(
+        parseJson("{\"channel\": {\"rate_kbps\": 250}}"), "test");
+    EXPECT_DOUBLE_EQ(res.spec().rateKbps, 250.0);
+}
+
+// --- resolver: layering, provenance, round trip -----------------------
+
+TEST(ConfigResolver, LayersOverrideInPrecedenceOrder)
+{
+    ConfigResolver res;
+    EXPECT_EQ(res.provenance("system.seed"), "default");
+
+    res.applyPreset("proto-moesi-snoop");
+    EXPECT_EQ(res.spec().channel.system.flavor,
+              CoherenceFlavor::moesi);
+    EXPECT_EQ(res.provenance("system.flavor"),
+              "preset:proto-moesi-snoop");
+
+    res.applyJson(parseJson("{\"system\": {\"flavor\": \"mesif\", "
+                            "\"seed\": 5}}"),
+                  "file:test.json");
+    EXPECT_EQ(res.spec().channel.system.flavor,
+              CoherenceFlavor::mesif);
+    EXPECT_EQ(res.provenance("system.flavor"), "file:test.json");
+    EXPECT_EQ(res.spec().channel.system.seed, 5u);
+
+    res.applyOverride("flavor", "mesi", "cli");
+    EXPECT_EQ(res.spec().channel.system.flavor,
+              CoherenceFlavor::mesi);
+    EXPECT_EQ(res.provenance("system.flavor"), "cli");
+    // The snoop lookup from the preset survives the later layers.
+    EXPECT_EQ(res.spec().channel.system.lookup,
+              CoherenceLookup::snoop);
+    EXPECT_EQ(res.provenance("system.lookup"),
+              "preset:proto-moesi-snoop");
+}
+
+TEST(ConfigResolver, ConfigFileCanStartFromPreset)
+{
+    ConfigResolver res;
+    res.applyJson(
+        parseJson("{\"preset\": \"RExclc-LExclb\", "
+                  "\"channel\": {\"noise_threads\": 3}}"),
+        "file:t.json");
+    EXPECT_EQ(res.spec().channel.scenario, Scenario::rexcC_lexB);
+    EXPECT_EQ(res.spec().channel.noiseThreads, 3);
+}
+
+TEST(ConfigResolver, RejectsUnknownPreset)
+{
+    ConfigResolver res;
+    try {
+        res.applyPreset("no-such-preset");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("available:"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigResolver, DumpRoundTripsBitExactly)
+{
+    ConfigResolver res;
+    res.applyPreset("fig09-noise");
+    res.applyOverride("system.timing.jitter_sd", "4.25", "cli");
+    res.applyOverride("seed", "12345", "cli");
+    const std::string dump1 = res.toJson().dump();
+
+    ConfigResolver again;
+    again.applyJson(parseJson(dump1), "file:dump");
+    EXPECT_EQ(again.toJson().dump(), dump1);
+    EXPECT_DOUBLE_EQ(
+        again.spec().channel.system.timing.jitterSd, 4.25);
+    EXPECT_EQ(again.spec().sweep.noiseLevels, "0,1,2,4,6,8");
+}
+
+TEST(ConfigResolver, DumpFileReloads)
+{
+    const std::string path = "test_config_dump.json";
+    ConfigResolver res;
+    res.applyOverride("scenario", "2", "cli");
+    res.dumpFile(path);
+
+    ConfigResolver again;
+    again.applyFile(path);
+    EXPECT_EQ(again.spec().channel.scenario, Scenario::rexcC_rshB);
+    EXPECT_EQ(again.toJson().dump(), res.toJson().dump());
+    std::remove(path.c_str());
+}
+
+TEST(ConfigResolver, NamesFileInUnknownKeyError)
+{
+    ConfigResolver res;
+    try {
+        res.applyJson(parseJson("{\"system\": {\"flavr\": "
+                                "\"mesi\"}}"),
+                      "file:bad.json");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("file:bad.json"), std::string::npos);
+        EXPECT_NE(msg.find("system.flavr"), std::string::npos);
+    }
+}
+
+// --- spec semantics ---------------------------------------------------
+
+TEST(ExperimentSpec, ValidatesCrossFieldConstraints)
+{
+    ExperimentSpec spec;
+    spec.channel.params.c0 = 5;
+    spec.channel.params.c1 = 5;
+    EXPECT_THROW(spec.validate(), ConfigError);
+
+    spec = ExperimentSpec{};
+    spec.payload.message.clear();
+    EXPECT_THROW(spec.validate(), ConfigError);
+
+    spec = ExperimentSpec{};
+    spec.channel.system.timing.longTailMin = 500;
+    spec.channel.system.timing.longTailMax = 100;
+    EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(ExperimentSpec, DerivesChannelConfigFromRate)
+{
+    ExperimentSpec spec;
+    spec.rateKbps = 500;
+    spec.payload.bits = 100;
+    spec.timeoutMargin = 10.0;
+    const ChannelConfig cfg = spec.toChannelConfig();
+    const ChannelParams expect = ChannelParams::forTargetKbps(
+        500, spec.channel.system.timing);
+    EXPECT_EQ(cfg.params.ts, expect.ts);
+    EXPECT_EQ(cfg.params.helperGap, expect.helperGap);
+    EXPECT_EQ(cfg.timeout,
+              cfg.deriveTimeout(100, 10.0));
+    // The defence flag routes into the timing model downstream, not
+    // in toChannelConfig (runCovertTransmission applies it).
+    EXPECT_EQ(cfg.defense, Defense::none);
+}
+
+TEST(ExperimentSpec, MakesSeededOrTextPayloads)
+{
+    ExperimentSpec spec;
+    EXPECT_EQ(spec.makePayload(),
+              textToBits("COHERENCE STATES LEAK"));
+
+    spec.payload.bits = 64;
+    const BitString a = spec.makePayload();
+    EXPECT_EQ(a.size(), 64u);
+    EXPECT_EQ(a, spec.makePayload()) << "same seed, same payload";
+    spec.channel.system.seed = 77;
+    EXPECT_NE(a, spec.makePayload()) << "seed changes payload";
+}
+
+// --- grid expansion ---------------------------------------------------
+
+TEST(GridExpansion, ScenarioMajorThenRateThenNoise)
+{
+    ExperimentSpec spec;
+    spec.sweep.scenarios = "1,4";
+    spec.sweep.fromKbps = 100;
+    spec.sweep.toKbps = 300;
+    spec.sweep.stepKbps = 100;
+    spec.sweep.noiseLevels = "0,2";
+
+    const GridAxes axes = sweepAxes(spec);
+    EXPECT_EQ(axes.size(), 12u);
+    const std::vector<ExperimentSpec> grid = expandGrid(spec);
+    ASSERT_EQ(grid.size(), 12u);
+
+    // Scenario-major, then rate, then noise.
+    EXPECT_EQ(grid[0].channel.scenario, Scenario::lexcC_lshB);
+    EXPECT_DOUBLE_EQ(grid[0].rateKbps, 100);
+    EXPECT_EQ(grid[0].channel.noiseThreads, 0);
+    EXPECT_EQ(grid[1].channel.noiseThreads, 2);
+    EXPECT_DOUBLE_EQ(grid[2].rateKbps, 200);
+    EXPECT_EQ(grid[6].channel.scenario, Scenario::rexcC_lshB);
+
+    // Expanded points are plain single-experiment specs.
+    for (const ExperimentSpec &p : grid) {
+        EXPECT_TRUE(p.sweep.scenarios.empty());
+        const std::vector<ExperimentSpec> again = expandGrid(p);
+        ASSERT_EQ(again.size(), 1u);
+        EXPECT_EQ(again[0].channel.scenario, p.channel.scenario);
+    }
+}
+
+TEST(GridExpansion, EmptyAxesExpandToSelf)
+{
+    ExperimentSpec spec;
+    spec.rateKbps = 250;
+    spec.channel.noiseThreads = 4;
+    const std::vector<ExperimentSpec> grid = expandGrid(spec);
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_DOUBLE_EQ(grid[0].rateKbps, 250);
+    EXPECT_EQ(grid[0].channel.noiseThreads, 4);
+}
+
+TEST(GridExpansion, AllScenariosKeyword)
+{
+    ExperimentSpec spec;
+    spec.sweep.scenarios = "all";
+    const GridAxes axes = sweepAxes(spec);
+    EXPECT_EQ(axes.scenarios.size(), 6u);
+}
+
+TEST(GridExpansion, RejectsMalformedAxes)
+{
+    ExperimentSpec spec;
+    spec.sweep.rates = "100,abc";
+    EXPECT_THROW(sweepAxes(spec), ConfigError);
+
+    spec = ExperimentSpec{};
+    spec.sweep.fromKbps = 100;  // step missing
+    EXPECT_THROW(sweepAxes(spec), ConfigError);
+
+    spec = ExperimentSpec{};
+    spec.sweep.fromKbps = 500;
+    spec.sweep.toKbps = 100;
+    spec.sweep.stepKbps = 100;
+    EXPECT_THROW(sweepAxes(spec), ConfigError);
+}
+
+// --- presets ----------------------------------------------------------
+
+TEST(Presets, EveryPresetValidatesAndBuildsAMachine)
+{
+    for (const Preset &preset : allPresets()) {
+        ConfigResolver res;
+        ASSERT_NO_THROW(res.applyPreset(preset.name))
+            << preset.name;
+        ASSERT_NO_THROW(res.spec().validate()) << preset.name;
+        // The resolved system must be buildable: constructing the
+        // machine exercises topology, cache geometry and timing
+        // validation (fatal_if on inconsistency).
+        const Machine machine(res.spec().channel.system);
+        EXPECT_GT(res.spec().channel.system.numCores(), 0)
+            << preset.name;
+    }
+}
+
+TEST(Presets, ScenarioPresetsFollowTableOrder)
+{
+    const std::vector<const Preset *> rows = scenarioPresets();
+    ASSERT_EQ(rows.size(), 6u);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        ASSERT_NE(rows[i], nullptr);
+        EXPECT_EQ(rows[i]->name, allScenarios()[i].notation);
+        ExperimentSpec spec;
+        applyPreset(spec, *rows[i]);
+        EXPECT_EQ(spec.channel.scenario, allScenarios()[i].id);
+    }
+}
+
+TEST(Presets, MitigationPresetsSetDefense)
+{
+    const std::vector<const Preset *> mitigations =
+        presetsWithPrefix("mitigation-");
+    ASSERT_EQ(mitigations.size(), 3u);
+    const std::vector<Defense> expected = {
+        Defense::targetedNoise, Defense::ksmGuard,
+        Defense::llcNotify};
+    for (std::size_t i = 0; i < mitigations.size(); ++i) {
+        ExperimentSpec spec;
+        applyPreset(spec, *mitigations[i]);
+        EXPECT_EQ(spec.channel.defense, expected[i])
+            << mitigations[i]->name;
+        EXPECT_EQ(spec.channel.sharing, SharingMode::ksm)
+            << mitigations[i]->name;
+    }
+}
+
+TEST(Presets, ProtocolMatrixMatchesAblationBench)
+{
+    const std::vector<const Preset *> protos =
+        presetsWithPrefix("proto-");
+    ASSERT_EQ(protos.size(), 6u);
+    EXPECT_EQ(protos[0]->name, "proto-mesi-dir");
+    EXPECT_EQ(protos[5]->name, "proto-mesi-noninclusive");
+    ExperimentSpec spec;
+    applyPreset(spec, *protos[5]);
+    EXPECT_FALSE(spec.channel.system.llcInclusive);
+    EXPECT_EQ(spec.channel.system.flavor, CoherenceFlavor::mesi);
+}
+
+TEST(Presets, PresetTransmissionMatchesManualSetup)
+{
+    // The acceptance property behind the examples/ configs: running
+    // from a scenario preset is bit-for-bit the run the hand-built
+    // config produces.
+    ExperimentSpec preset_spec;
+    preset_spec.channel.system.seed = 2018;
+    applyPreset(preset_spec, *findPreset("RExclc-LExclb"));
+    preset_spec.payload.bits = 24;
+
+    ExperimentSpec manual = preset_spec;
+    manual.channel.scenario = Scenario::rexcC_lexB;
+
+    const ChannelReport a = runCovertTransmission(
+        preset_spec.toChannelConfig(), preset_spec.makePayload());
+    const ChannelReport b = runCovertTransmission(
+        manual.toChannelConfig(), manual.makePayload());
+    EXPECT_EQ(a.received, b.received);
+    EXPECT_EQ(a.metrics.durationCycles, b.metrics.durationCycles);
+}
+
+} // namespace
+} // namespace csim

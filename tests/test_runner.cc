@@ -19,6 +19,8 @@
 #include <thread>
 
 #include "channel/channel.hh"
+#include "config/presets.hh"
+#include "config/resolver.hh"
 #include "runner/json_sink.hh"
 #include "runner/runner.hh"
 #include "runner/thread_pool.hh"
@@ -304,6 +306,59 @@ TEST(ParallelSweep, BitIdenticalAcrossWorkerCounts)
         EXPECT_DOUBLE_EQ(seq[i].rawKbps, par[i].rawKbps)
             << "job " << i;
         EXPECT_EQ(seq[i].duration, par[i].duration) << "job " << i;
+    }
+}
+
+TEST(ParallelSweep, ConfigBuiltGridBitIdenticalAcrossWorkerCounts)
+{
+    // The declarative path the CLI sweep and the fig08/fig09 benches
+    // take: grid from ExperimentSpec expansion, counters + metrics
+    // bit-identical for any worker count.
+    ConfigResolver resolver;
+    resolver.applyOverride("system.seed", "2018", "default");
+    resolver.applyOverride("sweep.scenarios", "1,4", "test");
+    resolver.applyOverride("sweep.rates", "150,500", "test");
+    resolver.applyOverride("payload.bits", "24", "test");
+    resolver.applyOverride("channel.timeout_margin", "10", "test");
+    const ExperimentSpec &base = resolver.spec();
+    base.validate();
+
+    const CalibrationResult cal =
+        calibrate(base.channel.system, 150);
+    Rng rng(8);
+    const BitString payload = randomBits(rng, base.payloadBits());
+    const std::vector<ExperimentSpec> grid = expandGrid(base);
+    ASSERT_EQ(grid.size(), 4u);
+
+    struct Cell
+    {
+        std::string received;
+        Tick duration = 0;
+        std::string counters;
+    };
+    auto sweep = [&](int workers) {
+        std::vector<std::function<Cell()>> jobs;
+        for (const ExperimentSpec &point : grid) {
+            jobs.push_back([&point, &cal, &payload] {
+                const ChannelReport rep = runCovertTransmission(
+                    point.toChannelConfig(), payload, &cal);
+                return Cell{bitsToString(rep.received),
+                            rep.metrics.durationCycles,
+                            rep.counters.toJson().dump()};
+            });
+        }
+        RunnerOptions opts;
+        opts.jobs = workers;
+        return runJobs(std::move(jobs), opts);
+    };
+
+    const auto seq = sweep(1);
+    const auto par = sweep(8);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].received, par[i].received) << "point " << i;
+        EXPECT_EQ(seq[i].duration, par[i].duration) << "point " << i;
+        EXPECT_EQ(seq[i].counters, par[i].counters) << "point " << i;
     }
 }
 

@@ -3,13 +3,23 @@
  * cohersim — command-line driver for the CoherSim library.
  *
  * Subcommands:
- *   info       print the simulated machine and Table I scenarios
+ *   info       print the simulated machine, Table I, presets, fields
  *   calibrate  measure the (location, coherence state) latency bands
  *   transmit   run one covert transmission and print the result
- *   sweep      accuracy vs transmission rate for one scenario
+ *   sweep      run the experiment grid of a sweep spec
  *   ecc        run an error-corrected (parity + NACK) session
  *   symbols    run the 2-bit-symbol channel
  *   trace      describe the tracing subsystem's event vocabulary
+ *
+ * Every experiment subcommand resolves one declarative
+ * `ExperimentSpec` through layers of increasing precedence:
+ *
+ *   defaults -> --preset NAME -> --config FILE -> --key value
+ *
+ * Any registry field (see `cohersim info --fields`) works as a
+ * `--key value` override; unknown keys are rejected with the accepted
+ * list. `--dump-config FILE` writes the fully resolved spec as a
+ * re-runnable JSON manifest.
  *
  * Run `cohersim <subcommand> --help` for the options of each.
  */
@@ -21,12 +31,16 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "channel/channel.hh"
 #include "channel/ecc.hh"
+#include "common/logging.hh"
 #include "channel/symbols.hh"
 #include "common/table_printer.hh"
+#include "config/presets.hh"
+#include "config/resolver.hh"
 #include "runner/json_sink.hh"
 #include "runner/runner.hh"
 #include "trace/perfetto.hh"
@@ -38,53 +52,66 @@ namespace
 using namespace csim;
 
 /**
- * Minimal flag parser: --key value pairs after the subcommand, plus
- * a known set of valueless boolean switches.
+ * Command line split into tool-level options (trace files, worker
+ * counts...) and config-field overrides. Any `--key` that is neither
+ * a known tool option nor a registry field (by name or alias) is
+ * rejected up front with the accepted-keys message, so a typo like
+ * `--flavour mesif` fails loudly instead of silently running the
+ * default configuration.
  */
 class Args
 {
   public:
     Args(int argc, char **argv, int first,
-         std::initializer_list<const char *> bool_flags = {})
+         std::initializer_list<const char *> tool_values = {},
+         std::initializer_list<const char *> tool_flags = {})
     {
-        const std::set<std::string> booleans(bool_flags.begin(),
-                                             bool_flags.end());
+        const std::set<std::string> values(tool_values.begin(),
+                                           tool_values.end());
+        const std::set<std::string> flags(tool_flags.begin(),
+                                          tool_flags.end());
+        const FieldRegistry &reg = FieldRegistry::instance();
         for (int i = first; i < argc; ++i) {
             std::string key = argv[i];
-            if (key.rfind("--", 0) != 0) {
-                std::cerr << "unexpected argument: " << key << "\n";
-                std::exit(2);
-            }
+            if (key.rfind("--", 0) != 0)
+                throw ConfigError(
+                    msgCat("unexpected argument: ", key));
             key = key.substr(2);
             if (key == "help") {
                 help = true;
                 continue;
             }
-            if (booleans.count(key)) {
+            if (flags.count(key)) {
                 flags_.insert(key);
                 continue;
             }
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for --" << key << "\n";
-                std::exit(2);
-            }
-            values_[key] = argv[++i];
+            const bool tool = values.count(key) > 0;
+            if (!tool && !reg.find(key))
+                throw ConfigError(
+                    reg.unknownKeyMessage(key, "cli"));
+            if (i + 1 >= argc)
+                throw ConfigError(
+                    msgCat("missing value for --", key));
+            if (tool)
+                tool_[key] = argv[++i];
+            else
+                overrides_.emplace_back(key, argv[++i]);
         }
     }
 
     std::string
     str(const std::string &key, const std::string &fallback) const
     {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback : it->second;
+        const auto it = tool_.find(key);
+        return it == tool_.end() ? fallback : it->second;
     }
 
     long
     num(const std::string &key, long fallback) const
     {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback
-                                   : std::stol(it->second);
+        const auto it = tool_.find(key);
+        return it == tool_.end() ? fallback
+                                 : std::stol(it->second);
     }
 
     bool flag(const std::string &key) const
@@ -92,97 +119,145 @@ class Args
         return flags_.count(key) > 0;
     }
 
+    /**
+     * Resolve the experiment spec: defaults, the subcommand's legacy
+     * defaults (lowest precedence after the built-ins), then
+     * --preset, --config and the remaining CLI overrides.
+     */
+    ConfigResolver
+    resolve(std::initializer_list<
+            std::pair<const char *, const char *>>
+                subcommand_defaults = {}) const
+    {
+        ConfigResolver res;
+        // The CLI has always seeded with 2018 (the paper's year)
+        // unless told otherwise; keep that as a default-layer value
+        // so every later layer can override it.
+        res.applyOverride("system.seed", "2018", "default");
+        res.applyOverride("channel.scenario", "RExclc-LSharedb",
+                          "default");
+        for (const auto &[key, value] : subcommand_defaults)
+            res.applyOverride(key, value, "default");
+        const std::string preset = str("preset", "");
+        if (!preset.empty())
+            res.applyPreset(preset);
+        const std::string config = str("config", "");
+        if (!config.empty())
+            res.applyFile(config);
+        for (const auto &[key, value] : overrides_)
+            res.applyOverride(key, value, "cli");
+        res.spec().validate();
+        const std::string dump = str("dump-config", "");
+        if (!dump.empty()) {
+            res.dumpFile(dump);
+            std::cout << "config:    resolved spec -> " << dump
+                      << "\n";
+        }
+        return res;
+    }
+
+    /** True when any layer beyond the defaults was given. */
+    bool
+    layered() const
+    {
+        return !overrides_.empty() || tool_.count("preset") ||
+               tool_.count("config");
+    }
+
     bool help = false;
 
   private:
-    std::map<std::string, std::string> values_;
+    std::map<std::string, std::string> tool_;
     std::set<std::string> flags_;
+    std::vector<std::pair<std::string, std::string>> overrides_;
 };
 
-Scenario
-parseScenario(const std::string &name)
+const char *kCommonHelp =
+    "  --preset NAME       start from a named preset (see "
+    "`cohersim info`)\n"
+    "  --config FILE       apply a JSON config file\n"
+    "  --key value         override any config field (see "
+    "`cohersim info --fields`)\n"
+    "  --dump-config FILE  write the resolved spec as a re-runnable "
+    "manifest\n";
+
+void
+printProvenance(const ConfigResolver &res)
 {
-    for (const ScenarioInfo &sc : allScenarios()) {
-        if (name == sc.notation)
-            return sc.id;
+    TablePrinter table;
+    table.header({"field", "value", "source"});
+    const FieldRegistry &reg = FieldRegistry::instance();
+    for (const FieldDef &f : reg.fields()) {
+        table.row({f.name, f.format(f.get(res.spec())),
+                   res.provenance(f.name)});
     }
-    // Also accept the row number (1..6).
-    const int row = std::atoi(name.c_str());
-    if (row >= 1 && row <= numScenarios)
-        return allScenarios()[static_cast<std::size_t>(row - 1)].id;
-    std::cerr << "unknown scenario '" << name
-              << "'; use a Table I notation (e.g. RExclc-LSharedb) "
-                 "or a row number 1-6\n";
-    std::exit(2);
+    table.print(std::cout);
 }
 
-SystemConfig
-parseSystem(const Args &args)
+void
+printFields()
 {
-    SystemConfig sys;
-    sys.seed = static_cast<std::uint64_t>(args.num("seed", 2018));
-    const std::string flavor = args.str("flavor", "mesi");
-    if (flavor == "mesi")
-        sys.flavor = CoherenceFlavor::mesi;
-    else if (flavor == "mesif")
-        sys.flavor = CoherenceFlavor::mesif;
-    else if (flavor == "moesi")
-        sys.flavor = CoherenceFlavor::moesi;
-    else {
-        std::cerr << "unknown --flavor " << flavor << "\n";
-        std::exit(2);
+    TablePrinter table;
+    table.header({"field", "type", "default", "accepts", "doc"});
+    const FieldRegistry &reg = FieldRegistry::instance();
+    const ExperimentSpec defaults;
+    for (const FieldDef &f : reg.fields()) {
+        std::string accepts;
+        if (f.type == FieldDef::Type::integer ||
+            f.type == FieldDef::Type::real) {
+            accepts = "[" + TablePrinter::num(f.min, 0) + ", " +
+                      TablePrinter::num(f.max, 0) + "]";
+        } else if (f.type == FieldDef::Type::choice) {
+            for (const std::string &c : f.choices)
+                accepts += (accepts.empty() ? "" : "|") + c;
+        }
+        std::string name = f.name;
+        for (const std::string &alias : f.aliases)
+            name += " (--" + alias + ")";
+        table.row({name, fieldTypeName(f.type),
+                   f.format(f.get(defaults)), accepts, f.doc});
     }
-    const std::string lookup = args.str("lookup", "directory");
-    if (lookup == "directory")
-        sys.lookup = CoherenceLookup::directory;
-    else if (lookup == "snoop")
-        sys.lookup = CoherenceLookup::snoop;
-    else {
-        std::cerr << "unknown --lookup " << lookup << "\n";
-        std::exit(2);
-    }
-    return sys;
-}
-
-ChannelConfig
-parseChannel(const Args &args)
-{
-    ChannelConfig cfg;
-    cfg.system = parseSystem(args);
-    cfg.scenario =
-        parseScenario(args.str("scenario", "RExclc-LSharedb"));
-    cfg.noiseThreads = static_cast<int>(args.num("noise", 0));
-    const std::string sharing = args.str("sharing", "explicit");
-    if (sharing == "explicit")
-        cfg.sharing = SharingMode::explicitShared;
-    else if (sharing == "ksm")
-        cfg.sharing = SharingMode::ksm;
-    else {
-        std::cerr << "unknown --sharing " << sharing << "\n";
-        std::exit(2);
-    }
-    const long rate = args.num("rate", 0);
-    if (rate > 0) {
-        cfg.params = ChannelParams::forTargetKbps(
-            static_cast<double>(rate), cfg.system.timing);
-    }
-    return cfg;
+    table.print(std::cout);
 }
 
 int
-cmdInfo(const Args &)
+cmdInfo(const Args &args)
 {
-    SystemConfig sys;
-    std::cout << "Simulated machine (defaults):\n"
+    if (args.help) {
+        std::cout << "cohersim info [--fields] [--preset NAME] "
+                     "[--config FILE] [--key value]\n"
+                     "  --fields  list every config field with type, "
+                     "default, range and doc\n"
+                  << kCommonHelp
+                  << "  with a preset/config/override, prints the "
+                     "resolved value and provenance\n"
+                     "  of every field\n";
+        return 0;
+    }
+    if (args.flag("fields")) {
+        printFields();
+        return 0;
+    }
+    const ConfigResolver res = args.resolve();
+    const SystemConfig &sys = res.spec().channel.system;
+    std::cout << "Simulated machine:\n"
               << "  " << sys.sockets << " sockets x "
               << sys.coresPerSocket << " cores @ "
               << sys.timing.clockGhz << " GHz\n"
               << "  L1 " << sys.l1.sizeBytes / 1024 << " KiB, L2 "
               << sys.l2.sizeBytes / 1024 << " KiB private; LLC "
-              << sys.llc.sizeBytes / (1024 * 1024)
-              << " MiB shared inclusive\n"
+              << sys.llc.sizeBytes / (1024 * 1024) << " MiB shared "
+              << (sys.llcInclusive ? "inclusive" : "non-inclusive")
+              << "\n"
               << "  protocol " << coherenceFlavorName(sys.flavor)
               << " / " << coherenceLookupName(sys.lookup) << "\n\n";
+
+    if (args.layered()) {
+        std::cout << "Resolved configuration:\n";
+        printProvenance(res);
+        return 0;
+    }
+
     TablePrinter table;
     table.header({"row", "scenario", "CSc", "CSb", "trojan threads"});
     int row = 1;
@@ -194,6 +269,14 @@ cmdInfo(const Args &)
                        " remote"});
     }
     table.print(std::cout);
+
+    std::cout << "\nPresets (use with --preset NAME or "
+                 "{\"preset\": NAME} in a config file):\n";
+    TablePrinter presets;
+    presets.header({"preset", "description"});
+    for (const Preset &p : allPresets())
+        presets.row({p.name, p.doc});
+    presets.print(std::cout);
     return 0;
 }
 
@@ -203,10 +286,12 @@ cmdCalibrate(const Args &args)
     if (args.help) {
         std::cout << "cohersim calibrate [--samples N] [--seed S] "
                      "[--flavor mesi|mesif|moesi] "
-                     "[--lookup directory|snoop]\n";
+                     "[--lookup directory|snoop]\n"
+                  << kCommonHelp;
         return 0;
     }
-    const SystemConfig sys = parseSystem(args);
+    const ConfigResolver res = args.resolve();
+    const SystemConfig &sys = res.spec().channel.system;
     const int samples = static_cast<int>(args.num("samples", 1000));
     const CalibrationResult cal = calibrate(sys, samples);
     TablePrinter table;
@@ -246,30 +331,25 @@ cmdTransmit(const Args &args)
         std::cout
             << "cohersim transmit [--message TEXT] [--bits N] "
                "[--scenario NAME|ROW] [--rate KBPS] "
-               "[--sharing explicit|ksm] [--noise N] [--seed S]\n"
+               "[--sharing explicit|ksm] [--noise N] "
+               "[--defense NAME] [--seed S]\n"
                "                  [--trace FILE] [--counters FILE]\n"
-               "  --trace FILE     capture the run and write a "
+            << kCommonHelp
+            << "  --trace FILE     capture the run and write a "
                "Perfetto/Chrome JSON trace\n"
                "  --counters FILE  dump the machine-wide counter "
                "totals as JSON\n";
         return 0;
     }
-    ChannelConfig cfg = parseChannel(args);
+    const ConfigResolver res = args.resolve();
+    const ExperimentSpec &spec = res.spec();
+    ChannelConfig cfg = spec.toChannelConfig();
     const std::string trace_path = args.str("trace", "");
     const std::string counters_path = args.str("counters", "");
     TraceRecorder recorder;
     if (!trace_path.empty())
         cfg.recorder = &recorder;
-    const std::string message =
-        args.str("message", "COHERENCE STATES LEAK");
-    BitString payload;
-    const long bits = args.num("bits", 0);
-    if (bits > 0) {
-        Rng rng(cfg.system.seed + 1);
-        payload = randomBits(rng, static_cast<std::size_t>(bits));
-    } else {
-        payload = textToBits(message);
-    }
+    const BitString payload = spec.makePayload();
     const ChannelReport rep = runCovertTransmission(cfg, payload);
     if (!trace_path.empty()) {
         const std::vector<TraceEvent> events = recorder.drain();
@@ -285,8 +365,11 @@ cmdTransmit(const Args &args)
     std::cout << "scenario:  " << scenarioInfo(cfg.scenario).notation
               << " over " << sharingModeName(cfg.sharing)
               << " sharing, " << cfg.noiseThreads
-              << " noise thread(s)\n";
-    if (bits <= 0)
+              << " noise thread(s)";
+    if (cfg.defense != Defense::none)
+        std::cout << ", defense " << defenseName(cfg.defense);
+    std::cout << "\n";
+    if (spec.payload.bits <= 0)
         std::cout << "received:  \"" << bitsToText(rep.received)
                   << "\"\n";
     std::cout << "accuracy:  "
@@ -305,61 +388,91 @@ int
 cmdSweep(const Args &args)
 {
     if (args.help) {
-        std::cout << "cohersim sweep [--scenario NAME|ROW] "
-                     "[--bits N] [--from KBPS] [--to KBPS] "
-                     "[--step KBPS] [--noise N] [--seed S] "
-                     "[--jobs N] [--counters FILE]\n"
-                     "  --counters FILE  dump per-rate counters and "
-                     "summed totals as JSON\n";
+        std::cout
+            << "cohersim sweep [--scenario NAME|ROW] [--bits N] "
+               "[--from KBPS] [--to KBPS] [--step KBPS] "
+               "[--noise N] [--seed S] [--jobs N] "
+               "[--counters FILE]\n"
+            << kCommonHelp
+            << "  sweep axes (sweep.scenarios, sweep.rates, "
+               "sweep.noise_levels) expand into a grid;\n"
+               "  every grid point is one independent simulation, "
+               "fanned out over --jobs workers\n"
+               "  --counters FILE  dump per-point counters and "
+               "summed totals as JSON\n";
         return 0;
     }
-    const ChannelConfig base = parseChannel(args);
+    // The historical CLI sweep: 100..1000 Kbps in steps of 100, a
+    // 300-bit random payload, payload-derived timeouts.
+    const ConfigResolver res =
+        args.resolve({{"sweep.from_kbps", "100"},
+                      {"sweep.to_kbps", "1000"},
+                      {"sweep.step_kbps", "100"},
+                      {"payload.bits", "300"},
+                      {"channel.timeout_margin", "10"}});
+    const ExperimentSpec &base = res.spec();
     const std::string counters_path = args.str("counters", "");
-    const long from = args.num("from", 100);
-    const long to = args.num("to", 1000);
-    const long step = args.num("step", 100);
-    Rng rng(base.system.seed + 2);
-    const BitString payload =
-        randomBits(rng, static_cast<std::size_t>(
-                            args.num("bits", 300)));
-    const CalibrationResult cal = calibrate(base.system, 400);
+    // The sweep payload keeps its historical seed derivation
+    // (seed + 2) so existing sweep outputs stay reproducible.
+    Rng rng(base.channel.system.seed + 2);
+    const BitString payload = randomBits(rng, base.payloadBits());
+    const CalibrationResult cal =
+        calibrate(base.channel.system, 400);
 
-    // The per-rate simulations are independent; fan them out across
+    const std::vector<ExperimentSpec> grid = expandGrid(base);
+
+    // The per-point simulations are independent; fan them out across
     // host cores. Results are bit-identical for any --jobs value.
     RunnerOptions opts;
     opts.jobs = static_cast<int>(args.num("jobs", 0));
-    std::vector<long> rate_list;
-    for (long rate = from; rate <= to; rate += step)
-        rate_list.push_back(rate);
-    struct RateResult
+    struct PointResult
     {
         ChannelMetrics metrics;
         CounterRegistry counters;
     };
-    std::vector<std::function<RateResult()>> jobs;
-    for (long rate : rate_list) {
-        jobs.push_back([&base, &cal, &payload, rate] {
-            ChannelConfig cfg = base;
-            cfg.params = ChannelParams::forTargetKbps(
-                static_cast<double>(rate), cfg.system.timing);
-            cfg.timeout = cfg.deriveTimeout(payload.size());
+    std::vector<std::function<PointResult()>> jobs;
+    for (const ExperimentSpec &point : grid) {
+        jobs.push_back([&point, &cal, &payload] {
+            const ChannelConfig cfg = point.toChannelConfig();
             const ChannelReport rep =
                 runCovertTransmission(cfg, payload, &cal);
-            return RateResult{rep.metrics, rep.counters};
+            return PointResult{rep.metrics, rep.counters};
         });
     }
-    const std::vector<RateResult> results =
+    const std::vector<PointResult> results =
         runJobs(std::move(jobs), opts);
 
+    const GridAxes axes = sweepAxes(base);
+    const bool many_scenarios = axes.scenarios.size() > 1;
+    const bool many_noise = axes.noiseLevels.size() > 1;
     TablePrinter table;
-    table.header({"target Kbps", "measured Kbps", "effective Kbps",
-                  "accuracy"});
-    for (std::size_t i = 0; i < rate_list.size(); ++i) {
-        table.row({std::to_string(rate_list[i]),
-                   TablePrinter::num(results[i].metrics.rawKbps),
-                   TablePrinter::num(
-                       results[i].metrics.effectiveKbps),
-                   TablePrinter::pct(results[i].metrics.accuracy)});
+    {
+        std::vector<std::string> header;
+        if (many_scenarios)
+            header.push_back("scenario");
+        header.push_back("target Kbps");
+        if (many_noise)
+            header.push_back("noise");
+        header.insert(header.end(), {"measured Kbps",
+                                     "effective Kbps", "accuracy"});
+        table.row(std::move(header));
+    }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        std::vector<std::string> row;
+        if (many_scenarios)
+            row.push_back(
+                scenarioInfo(grid[i].channel.scenario).notation);
+        row.push_back(TablePrinter::num(grid[i].rateKbps, 0));
+        if (many_noise)
+            row.push_back(
+                std::to_string(grid[i].channel.noiseThreads));
+        row.insert(row.end(),
+                   {TablePrinter::num(results[i].metrics.rawKbps),
+                    TablePrinter::num(
+                        results[i].metrics.effectiveKbps),
+                    TablePrinter::pct(
+                        results[i].metrics.accuracy)});
+        table.row(row);
     }
     table.print(std::cout);
 
@@ -367,17 +480,21 @@ cmdSweep(const Args &args)
         // Merge in submission order: totals are then bit-identical
         // for any --jobs value.
         CounterRegistry totals;
-        Json rates = Json::array();
-        for (std::size_t i = 0; i < rate_list.size(); ++i) {
+        Json points = Json::array();
+        for (std::size_t i = 0; i < grid.size(); ++i) {
             totals.merge(results[i].counters);
             Json row = Json::object();
-            row["target_kbps"] =
-                static_cast<std::int64_t>(rate_list[i]);
+            row["scenario"] =
+                scenarioInfo(grid[i].channel.scenario).notation;
+            row["target_kbps"] = grid[i].rateKbps;
+            row["noise_threads"] =
+                static_cast<std::int64_t>(
+                    grid[i].channel.noiseThreads);
             row["counters"] = results[i].counters.toJson();
-            rates.push(std::move(row));
+            points.push(std::move(row));
         }
         Json root = Json::object();
-        root["rates"] = std::move(rates);
+        root["rates"] = std::move(points);
         root["totals"] = totals.toJson();
         writeJsonFile(counters_path, root);
         std::cout << "counters: " << totals.size() << " -> "
@@ -426,14 +543,16 @@ cmdEcc(const Args &args)
     if (args.help) {
         std::cout << "cohersim ecc [--message TEXT] "
                      "[--scenario NAME|ROW] [--rate KBPS] "
-                     "[--noise N] [--seed S]\n";
+                     "[--noise N] [--seed S]\n"
+                  << kCommonHelp;
         return 0;
     }
-    ChannelConfig cfg = parseChannel(args);
-    const std::string message =
-        args.str("message", "GUARANTEED DELIVERY");
+    const ConfigResolver res = args.resolve(
+        {{"payload.message", "GUARANTEED DELIVERY"}});
+    const ExperimentSpec &spec = res.spec();
+    const ChannelConfig cfg = spec.toChannelConfig();
     const EccReport rep =
-        runEccTransmission(cfg, textToBits(message));
+        runEccTransmission(cfg, spec.makePayload());
     std::cout << "packets:          " << rep.packets << "\n"
               << "retransmissions:  " << rep.retransmissions << "\n"
               << "residual errors:  " << rep.residualErrors << "\n"
@@ -449,13 +568,16 @@ cmdSymbols(const Args &args)
 {
     if (args.help) {
         std::cout << "cohersim symbols [--message TEXT] "
-                     "[--rate KBPS] [--noise N] [--seed S]\n";
+                     "[--rate KBPS] [--noise N] [--seed S]\n"
+                  << kCommonHelp;
         return 0;
     }
-    ChannelConfig cfg = parseChannel(args);
-    const std::string message = args.str("message", "2 BITS EACH");
+    const ConfigResolver res =
+        args.resolve({{"payload.message", "2 BITS EACH"}});
+    const ExperimentSpec &spec = res.spec();
+    const ChannelConfig cfg = spec.toChannelConfig();
     const SymbolReport rep =
-        runSymbolTransmission(cfg, textToBits(message));
+        runSymbolTransmission(cfg, spec.makePayload());
     std::cout << "symbols sent:     " << rep.sentSymbols.size()
               << "\n"
               << "symbols received: " << rep.receivedSymbols.size()
@@ -476,13 +598,19 @@ usage()
     std::cout
         << "usage: cohersim <subcommand> [--options]\n\n"
            "subcommands:\n"
-           "  info       machine configuration and Table I\n"
+           "  info       machine configuration, Table I, presets and "
+           "config fields\n"
            "  calibrate  measure the latency bands (paper Fig. 2)\n"
            "  transmit   run one covert transmission\n"
-           "  sweep      accuracy vs transmission rate\n"
+           "  sweep      run the experiment grid of a sweep spec\n"
            "  ecc        parity + NACK retransmission session\n"
            "  symbols    2-bit-symbol channel\n"
            "  trace      tracing subsystem: list event categories\n\n"
+           "every experiment subcommand accepts --preset NAME, "
+           "--config FILE,\n"
+           "--dump-config FILE and --key value overrides of any "
+           "config field\n"
+           "(`cohersim info --fields` lists them)\n\n"
            "run `cohersim <subcommand> --help` for options\n";
 }
 
@@ -496,21 +624,33 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string cmd = argv[1];
-    const Args args(argc, argv, 2, {"list-categories"});
-    if (cmd == "info")
-        return cmdInfo(args);
-    if (cmd == "calibrate")
-        return cmdCalibrate(args);
-    if (cmd == "transmit")
-        return cmdTransmit(args);
-    if (cmd == "sweep")
-        return cmdSweep(args);
-    if (cmd == "ecc")
-        return cmdEcc(args);
-    if (cmd == "symbols")
-        return cmdSymbols(args);
-    if (cmd == "trace")
-        return cmdTrace(args);
+    try {
+        const Args args(
+            argc, argv, 2,
+            {"preset", "config", "dump-config", "trace", "counters",
+             "samples", "jobs"},
+            {"list-categories", "fields"});
+        if (cmd == "info")
+            return cmdInfo(args);
+        if (cmd == "calibrate")
+            return cmdCalibrate(args);
+        if (cmd == "transmit")
+            return cmdTransmit(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
+        if (cmd == "ecc")
+            return cmdEcc(args);
+        if (cmd == "symbols")
+            return cmdSymbols(args);
+        if (cmd == "trace")
+            return cmdTrace(args);
+    } catch (const ConfigError &e) {
+        std::cerr << "cohersim: " << e.what() << "\n";
+        return 2;
+    } catch (const JsonParseError &e) {
+        std::cerr << "cohersim: " << e.what() << "\n";
+        return 2;
+    }
     usage();
     return 2;
 }
