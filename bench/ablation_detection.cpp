@@ -10,9 +10,7 @@
 
 #include <iostream>
 
-#include "channel/channel.hh"
-#include "common/table_printer.hh"
-#include "detect/cchunter.hh"
+#include "cohersim/attack.hh"
 
 int
 main()

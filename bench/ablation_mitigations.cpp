@@ -21,11 +21,8 @@
 
 #include <iostream>
 
-#include "channel/channel.hh"
-#include "common/table_printer.hh"
-#include "config/presets.hh"
-#include "runner/json_sink.hh"
-#include "runner/runner.hh"
+#include "cohersim/attack.hh"
+#include "cohersim/harness.hh"
 
 int
 main(int argc, char **argv)

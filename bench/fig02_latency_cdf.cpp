@@ -8,9 +8,7 @@
 
 #include <iostream>
 
-#include "channel/calibration.hh"
-#include "common/stats.hh"
-#include "common/table_printer.hh"
+#include "cohersim/attack.hh"
 
 int
 main()

@@ -7,11 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "channel/calibration.hh"
-#include "common/edit_distance.hh"
-#include "common/random.hh"
-#include "mem/memory_system.hh"
-#include "os/kernel.hh"
+#include "cohersim/attack.hh"
 
 namespace
 {
@@ -55,6 +51,61 @@ BM_LoadOwnerForward(benchmark::State &state)
     }
 }
 BENCHMARK(BM_LoadOwnerForward);
+
+void
+BM_LoadLlcServe(benchmark::State &state)
+{
+    MemorySystem mem(quietConfig());
+    constexpr PAddr base = 0x10'0000;
+    constexpr PAddr span = 1 << 20;  // > L2, < LLC: steady LLC serve
+    Tick now = 0;
+    for (PAddr a = 0; a < span; a += 64) {
+        now += 500;
+        mem.load(0, base + a, now);
+    }
+    PAddr offset = 0;
+    for (auto _ : state) {
+        now += 500;
+        benchmark::DoNotOptimize(mem.load(0, base + offset, now));
+        offset = (offset + 64) % span;
+    }
+}
+BENCHMARK(BM_LoadLlcServe);
+
+void
+BM_RemoteOwnerForward(benchmark::State &state)
+{
+    MemorySystem mem(quietConfig());
+    Tick now = 0;
+    for (auto _ : state) {
+        mem.flush(0, 0x1000, now);
+        mem.load(0, 0x1000, now + 100);      // E at core 0
+        benchmark::DoNotOptimize(
+            mem.load(6, 0x1000, now + 600)); // cross-socket forward
+        now += 1'000;
+    }
+}
+BENCHMARK(BM_RemoteOwnerForward);
+
+void
+BM_DirectoryChurn(benchmark::State &state)
+{
+    MemorySystem mem(quietConfig());
+    constexpr PAddr base = 0x100'0000;
+    constexpr PAddr span = 24u << 20;  // 2x the LLC: constant churn
+    Tick now = 0;
+    for (PAddr a = 0; a < span; a += 64) {
+        now += 1'000;
+        mem.load(0, base + a, now);
+    }
+    PAddr offset = 0;
+    for (auto _ : state) {
+        now += 1'000;
+        benchmark::DoNotOptimize(mem.load(0, base + offset, now));
+        offset = (offset + 64) % span;
+    }
+}
+BENCHMARK(BM_DirectoryChurn);
 
 void
 BM_FlushReloadRound(benchmark::State &state)

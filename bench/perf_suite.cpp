@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Self-timed steady-state performance suite for the coherence core,
+ * with a regression gate.
+ *
+ * Each kernel drives one hot path of `MemorySystem` in a steady state
+ * (L1 hit, LLC serve, cross-socket forward, flush+reload round,
+ * directory churn) plus one end-to-end run of the `fig08-sweep`
+ * preset, and reports host ops/sec alongside the mean *virtual*
+ * cycles per op. The results land in `BENCH_perf.json`.
+ *
+ * Host throughput is machine-dependent, so the suite also times a
+ * pure-arithmetic `host_ref` kernel that never touches the simulator.
+ * `--check <baseline.json>` rescales every baseline figure by the
+ * host_ref ratio before applying the tolerance, which lets one
+ * committed baseline (`bench/perf_baseline.json`) gate CI runners of
+ * different speeds:
+ *
+ *   perf_suite --check bench/perf_baseline.json   # exit 1 on regression
+ *   perf_suite --json BENCH_perf.json             # measure + write only
+ *
+ * Refresh the baseline after an intentional perf change with
+ *   perf_suite --json bench/perf_baseline.json
+ * on an otherwise idle machine (see EXPERIMENTS.md).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cohersim/attack.hh"
+#include "cohersim/harness.hh"
+
+namespace
+{
+
+using namespace csim;
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+SystemConfig
+quietConfig()
+{
+    SystemConfig cfg;
+    cfg.timing.jitterSd = 0.0;
+    cfg.timing.longTailProb = 0.0;
+    cfg.seed = 3;
+    return cfg;
+}
+
+struct KernelResult
+{
+    std::string name;
+    double opsPerSec = 0.0;  //!< best rep
+    double cyclesPerOp = 0.0; //!< mean virtual cycles/op, best rep
+    std::uint64_t ops = 0;    //!< ops in the best rep
+    double seconds = 0.0;     //!< wall of the best rep
+};
+
+/**
+ * Time @p body (which runs one batch, adding to the op and virtual
+ * cycle counters) in @p reps repetitions of at least @p min_seconds
+ * each and keep the fastest rep. State captured by the body persists
+ * across batches, so the kernel stays in steady state.
+ */
+template <typename Body>
+KernelResult
+measureKernel(const std::string &name, int reps, double min_seconds,
+              Body &&body)
+{
+    KernelResult best;
+    best.name = name;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::uint64_t ops = 0;
+        std::uint64_t vcycles = 0;
+        const Clock::time_point start = Clock::now();
+        double elapsed = 0.0;
+        do {
+            body(ops, vcycles);
+            elapsed = secondsSince(start);
+        } while (elapsed < min_seconds);
+        const double ops_per_sec = static_cast<double>(ops) / elapsed;
+        if (ops_per_sec > best.opsPerSec) {
+            best.opsPerSec = ops_per_sec;
+            best.cyclesPerOp = ops == 0
+                ? 0.0
+                : static_cast<double>(vcycles)
+                      / static_cast<double>(ops);
+            best.ops = ops;
+            best.seconds = elapsed;
+        }
+    }
+    return best;
+}
+
+/** Pure-arithmetic reference: normalises baselines across hosts. */
+KernelResult
+kernelHostRef(int reps, double min_seconds)
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    return measureKernel(
+        "host_ref", reps, min_seconds,
+        [&state](std::uint64_t &ops, std::uint64_t &) {
+            std::uint64_t x = state;
+            for (int i = 0; i < 4096; ++i) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Keep the dependency chain live so the loop is not
+                // folded away; the kernel must time real arithmetic.
+                asm volatile("" : "+r"(x));
+            }
+            state = x;
+            ops += 4096;
+        });
+}
+
+/** Same line loaded by the same core forever: pure L1 hits. */
+KernelResult
+kernelL1HitLoad(int reps, double min_seconds)
+{
+    MemorySystem mem(quietConfig());
+    Tick now = 0;
+    mem.load(0, 0x1000, now);
+    return measureKernel(
+        "l1_hit_load", reps, min_seconds,
+        [&mem, &now](std::uint64_t &ops, std::uint64_t &vcycles) {
+            for (int i = 0; i < 1024; ++i) {
+                now += 10;
+                vcycles += static_cast<std::uint64_t>(
+                    mem.load(0, 0x1000, now).latency);
+            }
+            ops += 1024;
+        });
+}
+
+/**
+ * Stride over a 1 MiB working set: larger than L2 (256 KiB) so the
+ * private caches thrash, smaller than the LLC (12 MiB) so every load
+ * is served by the shared cache in steady state.
+ */
+KernelResult
+kernelLlcServeLoad(int reps, double min_seconds)
+{
+    MemorySystem mem(quietConfig());
+    constexpr PAddr base = 0x10'0000;
+    constexpr PAddr span = 1 << 20;
+    // Advance virtual time past the serve latency so the resource
+    // queues stay drained and cycles/op reports the bare path.
+    Tick now = 0;
+    PAddr offset = 0;
+    for (PAddr a = 0; a < span; a += 64) {   // warm the LLC
+        now += 500;
+        mem.load(0, base + a, now);
+    }
+    return measureKernel(
+        "llc_serve_load", reps, min_seconds,
+        [&mem, &now, &offset](std::uint64_t &ops,
+                              std::uint64_t &vcycles) {
+            for (int i = 0; i < 1024; ++i) {
+                now += 500;
+                vcycles += static_cast<std::uint64_t>(
+                    mem.load(0, base + offset, now).latency);
+                offset = (offset + 64) % span;
+            }
+            ops += 1024;
+        });
+}
+
+/**
+ * One flush + exclusive fill + cross-socket load per op: the remote
+ * owner-forward path the E-state covert channel is built on.
+ */
+KernelResult
+kernelRemoteOwnerForward(int reps, double min_seconds)
+{
+    MemorySystem mem(quietConfig());
+    Tick now = 0;
+    return measureKernel(
+        "remote_owner_forward", reps, min_seconds,
+        [&mem, &now](std::uint64_t &ops, std::uint64_t &vcycles) {
+            for (int i = 0; i < 64; ++i) {
+                mem.flush(0, 0x1000, now);
+                mem.load(0, 0x1000, now + 100);      // E at core 0
+                vcycles += static_cast<std::uint64_t>(
+                    mem.load(6, 0x1000, now + 600).latency);
+                now += 1'000;
+            }
+            ops += 64;
+        });
+}
+
+/** The spy's flush+reload round against a single target line. */
+KernelResult
+kernelFlushReloadCycle(int reps, double min_seconds)
+{
+    MemorySystem mem(quietConfig());
+    Tick now = 0;
+    return measureKernel(
+        "flush_reload_cycle", reps, min_seconds,
+        [&mem, &now](std::uint64_t &ops, std::uint64_t &vcycles) {
+            for (int i = 0; i < 256; ++i) {
+                mem.flush(0, 0x2000, now);
+                vcycles += static_cast<std::uint64_t>(
+                    mem.load(0, 0x2000, now + 100).latency);
+                now += 1'000;
+            }
+            ops += 256;
+        });
+}
+
+/**
+ * Stride over a 24 MiB working set — twice the LLC — so every load
+ * misses everywhere, evicts an LLC victim and churns the home-agent
+ * directory (insert + erase per op).
+ */
+KernelResult
+kernelDirectoryChurn(int reps, double min_seconds)
+{
+    MemorySystem mem(quietConfig());
+    constexpr PAddr base = 0x100'0000;
+    constexpr PAddr span = 24u << 20;
+    Tick now = 0;
+    PAddr offset = 0;
+    for (PAddr a = 0; a < span; a += 64) {   // reach steady state
+        now += 1'000;
+        mem.load(0, base + a, now);
+    }
+    return measureKernel(
+        "directory_churn", reps, min_seconds,
+        [&mem, &now, &offset](std::uint64_t &ops,
+                              std::uint64_t &vcycles) {
+            for (int i = 0; i < 256; ++i) {
+                now += 1'000;
+                vcycles += static_cast<std::uint64_t>(
+                    mem.load(0, base + offset, now).latency);
+                offset = (offset + 64) % span;
+            }
+            ops += 256;
+        });
+}
+
+/**
+ * End-to-end wall clock of the `fig08-sweep` preset on one worker:
+ * the full stack (config resolution, calibration, channel runs) as a
+ * user actually exercises it. One op = one grid cell.
+ */
+KernelResult
+kernelFig08EndToEnd()
+{
+    ConfigResolver resolver;
+    resolver.applyOverride("system.seed", "2018", "default");
+    resolver.applyPreset("fig08-sweep");
+    const ExperimentSpec &base = resolver.spec();
+    base.validate();
+
+    const CalibrationResult cal = calibrate(base.channel.system, 400);
+    Rng rng(8);
+    const BitString payload = randomBits(rng, base.payloadBits());
+    const std::vector<ExperimentSpec> grid = expandGrid(base);
+
+    const Clock::time_point start = Clock::now();
+    for (const ExperimentSpec &point : grid) {
+        const ChannelConfig cfg = point.toChannelConfig();
+        runCovertTransmission(cfg, payload, &cal);
+    }
+    KernelResult r;
+    r.name = "fig08_e2e";
+    r.seconds = secondsSince(start);
+    r.ops = grid.size();
+    r.opsPerSec = static_cast<double>(r.ops) / r.seconds;
+    r.cyclesPerOp = 0.0;
+    return r;
+}
+
+Json
+toJson(const std::vector<KernelResult> &results)
+{
+    Json root = Json::object();
+    root["schema"] = "cohersim.perf.v1";
+    Json &kernels = root["kernels"];
+    kernels = Json::array();
+    for (const KernelResult &r : results) {
+        Json k = Json::object();
+        k["name"] = r.name;
+        k["ops_per_sec"] = r.opsPerSec;
+        k["cycles_per_op"] = r.cyclesPerOp;
+        k["ops"] = r.ops;
+        k["seconds"] = r.seconds;
+        kernels.push(std::move(k));
+    }
+    return root;
+}
+
+double
+baselineOpsPerSec(const Json &baseline, const std::string &name)
+{
+    const Json *kernels = baseline.find("kernels");
+    if (!kernels)
+        return 0.0;
+    for (const Json &k : kernels->items()) {
+        const Json *kname = k.find("name");
+        const Json *ops = k.find("ops_per_sec");
+        if (kname && ops && kname->asString() == name)
+            return ops->asDouble();
+    }
+    return 0.0;
+}
+
+/**
+ * Gate @p now against @p baseline: scale every baseline figure by the
+ * measured host_ref ratio, then fail any kernel slower than
+ * (1 - tolerance) of its scaled baseline.
+ */
+int
+checkAgainstBaseline(const std::vector<KernelResult> &now,
+                     const Json &baseline, double tolerance)
+{
+    const double base_ref = baselineOpsPerSec(baseline, "host_ref");
+    double now_ref = 0.0;
+    for (const KernelResult &r : now) {
+        if (r.name == "host_ref")
+            now_ref = r.opsPerSec;
+    }
+    if (base_ref <= 0.0 || now_ref <= 0.0) {
+        std::cerr << "perf_suite: baseline or current run lacks the "
+                     "host_ref kernel; cannot normalise\n";
+        return 2;
+    }
+    const double scale = now_ref / base_ref;
+    std::cout << "\nhost_ref scale vs baseline: "
+              << TablePrinter::num(scale, 3) << "x; tolerance "
+              << TablePrinter::pct(tolerance) << "\n\n";
+
+    TablePrinter table;
+    table.row({"kernel", "baseline ops/s", "scaled floor",
+               "now ops/s", "ratio", "status"});
+    int failures = 0;
+    for (const KernelResult &r : now) {
+        if (r.name == "host_ref")
+            continue;
+        const double base_ops = baselineOpsPerSec(baseline, r.name);
+        if (base_ops <= 0.0) {
+            table.row({r.name, "-", "-",
+                       TablePrinter::num(r.opsPerSec, 0), "-",
+                       "NEW (no baseline)"});
+            continue;
+        }
+        const double floor = base_ops * scale * (1.0 - tolerance);
+        const double ratio = r.opsPerSec / (base_ops * scale);
+        const bool ok = r.opsPerSec >= floor;
+        if (!ok)
+            ++failures;
+        table.row({r.name, TablePrinter::num(base_ops, 0),
+                   TablePrinter::num(floor, 0),
+                   TablePrinter::num(r.opsPerSec, 0),
+                   TablePrinter::num(ratio, 2) + "x",
+                   ok ? "ok" : "REGRESSION"});
+    }
+    table.print(std::cout);
+    if (failures > 0) {
+        std::cout << "\n" << failures
+                  << " kernel(s) regressed beyond tolerance\n";
+        return 1;
+    }
+    std::cout << "\nall kernels within tolerance\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace csim;
+
+    std::string json_path = "BENCH_perf.json";
+    std::string baseline_path;
+    double tolerance = 0.25;
+    double min_seconds = 0.25;
+    int reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("perf_suite: ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--check") {
+            baseline_path = next();
+        } else if (arg == "--tolerance") {
+            tolerance = std::stod(next());
+        } else if (arg == "--min-time") {
+            min_seconds = std::stod(next());
+        } else if (arg == "--reps") {
+            reps = std::stoi(next());
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: perf_suite [--json PATH] "
+                   "[--check BASELINE.json] [--tolerance F]\n"
+                   "                  [--min-time SECONDS] "
+                   "[--reps N]\n";
+            return 0;
+        } else {
+            fatal("perf_suite: unknown argument ", arg);
+        }
+    }
+
+    std::cout << "== CoherSim steady-state performance suite ==\n\n";
+
+    std::vector<KernelResult> results;
+    results.push_back(kernelHostRef(reps, min_seconds));
+    results.push_back(kernelL1HitLoad(reps, min_seconds));
+    results.push_back(kernelLlcServeLoad(reps, min_seconds));
+    results.push_back(kernelRemoteOwnerForward(reps, min_seconds));
+    results.push_back(kernelFlushReloadCycle(reps, min_seconds));
+    results.push_back(kernelDirectoryChurn(reps, min_seconds));
+    results.push_back(kernelFig08EndToEnd());
+
+    TablePrinter table;
+    table.row({"kernel", "ops/sec", "ns/op", "virt cycles/op"});
+    for (const KernelResult &r : results) {
+        table.row({r.name, TablePrinter::num(r.opsPerSec, 0),
+                   TablePrinter::num(1e9 / r.opsPerSec, 1),
+                   TablePrinter::num(r.cyclesPerOp, 1)});
+    }
+    table.print(std::cout);
+
+    writeJsonFile(json_path, toJson(results));
+    std::cout << "\n[" << json_path << " written]\n";
+
+    if (!baseline_path.empty())
+        return checkAgainstBaseline(results,
+                                    readJsonFile(baseline_path),
+                                    tolerance);
+    return 0;
+}

@@ -8,9 +8,8 @@
 
 #include <iostream>
 
-#include "channel/channel.hh"
-#include "common/table_printer.hh"
-#include "config/presets.hh"
+#include "cohersim/attack.hh"
+#include "cohersim/harness.hh"
 
 int
 main()

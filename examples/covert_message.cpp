@@ -9,8 +9,7 @@
 
 #include <iostream>
 
-#include "channel/channel.hh"
-#include "common/table_printer.hh"
+#include "cohersim/attack.hh"
 
 int
 main()

@@ -8,7 +8,7 @@
 
 #include <iostream>
 
-#include "os/kernel.hh"
+#include "cohersim/core.hh"
 
 int
 main()

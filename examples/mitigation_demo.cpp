@@ -8,8 +8,7 @@
 
 #include <iostream>
 
-#include "channel/channel.hh"
-#include "common/table_printer.hh"
+#include "cohersim/attack.hh"
 
 namespace
 {

@@ -8,8 +8,7 @@
 
 #include <iostream>
 
-#include "channel/symbols.hh"
-#include "common/table_printer.hh"
+#include "cohersim/attack.hh"
 
 int
 main()

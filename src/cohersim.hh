@@ -2,73 +2,24 @@
  * @file
  * Umbrella header: everything a downstream user of CoherSim needs.
  *
- * The layering is strict — common <- sim <- mem <- os <- channel —
- * and each sub-header can also be included individually. The runner
- * layer (host-parallel sweep execution) depends only on common and
- * drives any of the layers above from host threads.
+ * The library is organised in three layer facades, each usable on its
+ * own so downstream code includes only the layer it needs:
+ *
+ *   cohersim/core.hh     the simulated machine (common, sim, mem,
+ *                        os, trace)
+ *   cohersim/attack.hh   the covert-channel stack and defences
+ *                        (includes core)
+ *   cohersim/harness.hh  sweeps and declarative experiment configs
+ *                        (runner, config)
+ *
+ * This umbrella includes all three.
  */
 
 #ifndef COHERSIM_COHERSIM_HH
 #define COHERSIM_COHERSIM_HH
 
-// Utilities.
-#include "common/bit_string.hh"
-#include "common/edit_distance.hh"
-#include "common/logging.hh"
-#include "common/random.hh"
-#include "common/stats.hh"
-#include "common/table_printer.hh"
-#include "common/types.hh"
-
-// Execution engine.
-#include "sim/memory_backend.hh"
-#include "sim/scheduler.hh"
-#include "sim/sync.hh"
-#include "sim/task.hh"
-#include "sim/thread.hh"
-#include "sim/thread_api.hh"
-
-// Coherent memory hierarchy.
-#include "mem/cache.hh"
-#include "mem/memory_system.hh"
-#include "mem/params.hh"
-
-// Operating system substrate.
-#include "os/kernel.hh"
-#include "os/ksm.hh"
-#include "os/ksm_guard.hh"
-#include "os/phys_mem.hh"
-#include "os/process.hh"
-
-// Tracing & counters.
-#include "trace/bus.hh"
-#include "trace/counters.hh"
-#include "trace/event.hh"
-#include "trace/perfetto.hh"
-#include "trace/query.hh"
-#include "trace/recorder.hh"
-#include "trace/ring.hh"
-
-// Defences.
-#include "detect/cchunter.hh"
-
-// Host-parallel experiment runner.
-#include "runner/json_sink.hh"
-#include "runner/runner.hh"
-#include "runner/thread_pool.hh"
-
-// The covert-channel stack.
-#include "channel/calibration.hh"
-#include "channel/channel.hh"
-#include "channel/combo.hh"
-#include "channel/ecc.hh"
-#include "channel/metrics.hh"
-#include "channel/noise.hh"
-#include "channel/placer.hh"
-#include "channel/protocol.hh"
-#include "channel/sharing.hh"
-#include "channel/spy.hh"
-#include "channel/symbols.hh"
-#include "channel/trojan.hh"
+#include "cohersim/attack.hh"
+#include "cohersim/core.hh"
+#include "cohersim/harness.hh"
 
 #endif // COHERSIM_COHERSIM_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Open-addressed hash map from line-aligned physical addresses to
+ * 32-bit presence/residency bit vectors.
+ *
+ * The coherence hot path consults the home-agent global directory
+ * (and, in non-inclusive mode, the per-socket snoop filters) on
+ * every private-cache miss and every flush. `std::unordered_map`
+ * pays a pointer chase per node plus allocator traffic on churn;
+ * this map keeps all slots in one flat array with fibonacci-hashed
+ * linear probing and backward-shift deletion, so the common
+ * lookup-miss and lookup-hit both touch one or two adjacent cache
+ * lines and erase leaves no tombstones behind.
+ *
+ * Keys must be line-aligned (bit 0..5 clear); the all-ones sentinel
+ * marks empty slots and can therefore never collide with a real key.
+ * Iteration order is unspecified — callers must not depend on it
+ * (the coherence invariant checks are order-insensitive).
+ */
+
+#ifndef COHERSIM_COMMON_LINE_MAP_HH
+#define COHERSIM_COMMON_LINE_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace csim
+{
+
+/** Flat hash map PAddr -> uint32_t specialised for directory state. */
+class LineMap
+{
+  public:
+    explicit LineMap(std::size_t initial_capacity = 64)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        rebuild(cap);
+    }
+
+    /** Value stored for @p key, or 0 when absent. */
+    std::uint32_t
+    lookup(PAddr key) const
+    {
+        const std::uint32_t *v = find(key);
+        return v ? *v : 0;
+    }
+
+    /** Pointer to the value for @p key, or nullptr when absent. */
+    std::uint32_t *
+    find(PAddr key)
+    {
+        const std::size_t i = probe(key);
+        return slots_[i].key == key ? &slots_[i].value : nullptr;
+    }
+
+    const std::uint32_t *
+    find(PAddr key) const
+    {
+        const std::size_t i = probe(key);
+        return slots_[i].key == key ? &slots_[i].value : nullptr;
+    }
+
+    /** Value for @p key, inserting 0 on first use. */
+    std::uint32_t &
+    operator[](PAddr key)
+    {
+        panic_if(key != lineAlign(key),
+                 "LineMap key not line-aligned: ", key);
+        std::size_t i = probe(key);
+        if (slots_[i].key != key) {
+            if ((size_ + 1) * 16 > capacity() * 11) {
+                rebuild(capacity() * 2);
+                i = probe(key);
+            }
+            slots_[i].key = key;
+            slots_[i].value = 0;
+            ++size_;
+        }
+        return slots_[i].value;
+    }
+
+    /** Remove @p key. @return true if it was present. */
+    bool
+    erase(PAddr key)
+    {
+        std::size_t i = probe(key);
+        if (slots_[i].key != key)
+            return false;
+        // Backward-shift deletion: pull every displaced follower of
+        // the probe chain one slot back so no tombstone is needed.
+        std::size_t hole = i;
+        for (std::size_t k = (i + 1) & mask_;
+             slots_[k].key != emptyKey; k = (k + 1) & mask_) {
+            const std::size_t ideal = indexFor(slots_[k].key);
+            if (((k - ideal) & mask_) >= ((k - hole) & mask_)) {
+                slots_[hole] = slots_[k];
+                hole = k;
+            }
+        }
+        slots_[hole].key = emptyKey;
+        --size_;
+        return true;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    void
+    clear()
+    {
+        for (Slot &s : slots_)
+            s.key = emptyKey;
+        size_ = 0;
+    }
+
+    /** Apply @p fn(key, value) to every entry (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_) {
+            if (s.key != emptyKey)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        PAddr key;
+        std::uint32_t value;
+    };
+
+    /** All-ones is never line-aligned, so never a valid key. */
+    static constexpr PAddr emptyKey = ~PAddr(0);
+
+    /** Fibonacci hash: spread line addresses over the top bits. */
+    std::size_t
+    indexFor(PAddr key) const
+    {
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ULL) >> shift_) & mask_;
+    }
+
+    /** First slot holding @p key or the empty slot ending its chain. */
+    std::size_t
+    probe(PAddr key) const
+    {
+        std::size_t i = indexFor(key);
+        while (slots_[i].key != key && slots_[i].key != emptyKey)
+            i = (i + 1) & mask_;
+        return i;
+    }
+
+    void
+    rebuild(std::size_t new_capacity)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_capacity, Slot{emptyKey, 0});
+        mask_ = new_capacity - 1;
+        shift_ = 64;
+        for (std::size_t c = new_capacity; c > 1; c >>= 1)
+            --shift_;
+        size_ = 0;
+        for (const Slot &s : old) {
+            if (s.key != emptyKey) {
+                const std::size_t i = probe(s.key);
+                slots_[i] = s;
+                ++size_;
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 64;
+    std::size_t size_ = 0;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_COMMON_LINE_MAP_HH

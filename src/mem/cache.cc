@@ -23,9 +23,14 @@ Cache::Cache(std::string name, const CacheGeometry &geom)
     : name_(std::move(name)),
       numSets_(geom.numSets()),
       assoc_(geom.assoc),
-      lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc)
+      lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc),
+      mruWay_(geom.numSets(), 0)
 {
     panic_if(numSets_ == 0, name_, ": zero sets");
+    if ((numSets_ & (numSets_ - 1)) == 0) {
+        setMask_ = numSets_ - 1;
+        setMaskValid_ = true;
+    }
 }
 
 CacheLine *
@@ -40,23 +45,53 @@ Cache::setBegin(unsigned set) const
     return &lines_[static_cast<std::size_t>(set) * assoc_];
 }
 
+template <typename CacheT>
+auto
+Cache::findImpl(CacheT &self, PAddr line_addr)
+    -> decltype(self.setBegin(0u))
+{
+    panic_if(line_addr != lineAlign(line_addr),
+             self.name_, ": unaligned line address");
+    // Fast path 1: the line found by the previous lookup.
+    {
+        auto *last = &self.lines_[self.lastIdx_];
+        if (self.lastAddr_ == line_addr && last->valid() &&
+            last->addr == line_addr) {
+            return last;
+        }
+    }
+    const unsigned set = self.setIndex(line_addr);
+    auto *base = self.setBegin(set);
+    // Fast path 2: the way that hit most recently in this set.
+    const unsigned mru = self.mruWay_[set];
+    if (base[mru].valid() && base[mru].addr == line_addr) {
+        self.lastIdx_ = static_cast<std::size_t>(set) * self.assoc_ +
+                        mru;
+        self.lastAddr_ = line_addr;
+        return &base[mru];
+    }
+    for (unsigned w = 0; w < self.assoc_; ++w) {
+        if (base[w].valid() && base[w].addr == line_addr) {
+            self.mruWay_[set] = static_cast<std::uint8_t>(w);
+            self.lastIdx_ =
+                static_cast<std::size_t>(set) * self.assoc_ + w;
+            self.lastAddr_ = line_addr;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
 CacheLine *
 Cache::find(PAddr line_addr)
 {
-    panic_if(line_addr != lineAlign(line_addr),
-             name_, ": unaligned line address");
-    CacheLine *set = setBegin(setIndex(line_addr));
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (set[w].valid() && set[w].addr == line_addr)
-            return &set[w];
-    }
-    return nullptr;
+    return findImpl(*this, line_addr);
 }
 
 const CacheLine *
 Cache::find(PAddr line_addr) const
 {
-    return const_cast<Cache *>(this)->find(line_addr);
+    return findImpl(*this, line_addr);
 }
 
 void
@@ -96,6 +131,12 @@ Cache::insert(PAddr line_addr, Mesi state, Victim *victim)
     slot->addr = line_addr;
     slot->state = state;
     touch(*slot);
+    const auto idx =
+        static_cast<std::size_t>(slot - lines_.data());
+    mruWay_[setIndex(line_addr)] =
+        static_cast<std::uint8_t>(idx % assoc_);
+    lastIdx_ = idx;
+    lastAddr_ = line_addr;
     return *slot;
 }
 

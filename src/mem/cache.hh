@@ -86,7 +86,13 @@ class Cache
   public:
     Cache(std::string name, const CacheGeometry &geom);
 
-    /** Find a valid line; nullptr on miss. Does not touch LRU. */
+    /**
+     * Find a valid line; nullptr on miss. Does not touch LRU.
+     *
+     * Lookups are accelerated by a one-entry last-line cache and a
+     * per-set MRU way hint; neither affects which line is found or
+     * the LRU replacement order, only how fast the hit is located.
+     */
     CacheLine *find(PAddr line_addr);
     const CacheLine *find(PAddr line_addr) const;
 
@@ -121,21 +127,48 @@ class Cache
     unsigned numSets() const { return numSets_; }
     unsigned assoc() const { return assoc_; }
 
-    /** Set index a line address maps to (modulo; supports the
-     *  non-power-of-two set counts of real LLCs, e.g. 12288). */
+    /** Set index a line address maps to. Power-of-two set counts
+     *  (all private caches) use a mask; the modulo fallback supports
+     *  the non-power-of-two set counts of real LLCs, e.g. 12288. */
     unsigned
     setIndex(PAddr line_addr) const
     {
-        return static_cast<unsigned>((line_addr / lineBytes) %
-                                     numSets_);
+        const PAddr frame = line_addr / lineBytes;
+        if (setMaskValid_)
+            return static_cast<unsigned>(frame) & setMask_;
+        return static_cast<unsigned>(frame % numSets_);
     }
 
   private:
+    /**
+     * Shared lookup for the const and non-const find() overloads:
+     * @p CacheT is `Cache` or `const Cache`, so the returned pointer
+     * inherits the caller's constness without a const_cast.
+     */
+    template <typename CacheT>
+    static auto findImpl(CacheT &self, PAddr line_addr)
+        -> decltype(self.setBegin(0u));
+
     std::string name_;
     unsigned numSets_;
     unsigned assoc_;
+    unsigned setMask_ = 0;       //!< numSets_ - 1 when a power of two
+    bool setMaskValid_ = false;
     std::vector<CacheLine> lines_;  //!< numSets * assoc, set-major
     std::uint64_t useCounter_ = 0;
+    /**
+     * @name Lookup accelerators
+     * `lines_` never reallocates after construction, so a cached slot
+     * index stays valid forever; a stale entry is detected by the
+     * valid()/addr check and falls through to the full set scan.
+     * Mutable: find() is logically const (it never changes which
+     * lines are present or their LRU order).
+     * @{
+     */
+    mutable std::size_t lastIdx_ = 0;
+    mutable PAddr lastAddr_ = ~PAddr(0);  //!< never a line address
+    mutable std::vector<std::uint8_t> mruWay_;  //!< per set
+    /** @} */
 
     CacheLine *setBegin(unsigned set);
     const CacheLine *setBegin(unsigned set) const;

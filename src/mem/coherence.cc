@@ -54,8 +54,8 @@ AccessResult
 MemorySystem::load(CoreId core, PAddr addr, Tick when)
 {
     ++stats_.loads;
-    const bool traced = traceLine && lineAlign(addr) == traceLine;
     const PAddr line = lineAlign(addr);
+    const bool traced = traceLine && line == traceLine;
     const auto idx = static_cast<std::size_t>(core);
     const TimingParams &t = config_.timing;
 
@@ -91,7 +91,7 @@ MemorySystem::load(CoreId core, PAddr addr, Tick when)
     Tick lat = serveLocal(core, line, when, served);
     if (lat == maxTick) {
         const std::uint32_t remotes =
-            socketPresence(line) & ~(1u << socket);
+            presenceBits(line) & ~(1u << socket);
         if (remotes) {
             const SocketId remote = std::countr_zero(remotes);
             lat = serveRemote(core, remote, line, when, served);
@@ -146,7 +146,7 @@ MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
     const CoreId dirty_owner = dirtySharerOf(socket, others, line);
     if (sharers == 1) {
         const CoreId owner = coreFromBit(socket, others);
-        const Mesi ost = privateState(owner, line);
+        const Mesi ost = privState(owner, line);
         panic_if(ost == Mesi::invalid,
                  "directory claims core ", owner, " holds line ",
                  line, " but its private caches miss");
@@ -237,7 +237,7 @@ MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
         llc.touch(*L);
     const bool shared_now =
         std::popcount(residencyBits(socket, line)) >= 2 ||
-        (socketPresence(line) & ~(1u << socket));
+        (presenceBits(line) & ~(1u << socket));
     if (!shared_now) {
         fill_state = Mesi::exclusive;
     } else if (config_.flavor == CoherenceFlavor::mesif &&
@@ -276,7 +276,7 @@ MemorySystem::serveRemote(CoreId core, SocketId remote, PAddr line,
     const CoreId remote_dirty = dirtySharerOf(remote, r_bits, line);
     if (sharers == 1) {
         const CoreId owner = coreFromBit(remote, r_bits);
-        const Mesi ost = privateState(owner, line);
+        const Mesi ost = privState(owner, line);
         panic_if(ost == Mesi::invalid,
                  "remote directory claims core ", owner,
                  " holds line ", line, " but it does not");
@@ -411,17 +411,16 @@ AccessResult
 MemorySystem::store(CoreId core, PAddr addr, Tick when)
 {
     ++stats_.stores;
+    const PAddr line = lineAlign(addr);
     if (trace_.enabled<TraceCategory::mem>()) {
         trace_.publish(TraceEvent{
             TraceEventType::memStore, TraceCategory::mem, core, when,
-            lineAlign(addr),
-            static_cast<std::uint64_t>(ServedBy::none), 0});
+            line, static_cast<std::uint64_t>(ServedBy::none), 0});
     }
-    const PAddr line = lineAlign(addr);
     const auto idx = static_cast<std::size_t>(core);
     const TimingParams &t = config_.timing;
     const SocketId socket = socketOf(core);
-    const Mesi st = privateState(core, line);
+    const Mesi st = privState(core, line);
 
     if (st == Mesi::modified) {
         if (CacheLine *l = l1s_[idx]->find(line))
@@ -479,34 +478,41 @@ AccessResult
 MemorySystem::flush(CoreId core, PAddr addr, Tick when)
 {
     ++stats_.flushes;
+    const PAddr line = lineAlign(addr);
     if (trace_.enabled<TraceCategory::mem>()) {
         trace_.publish(TraceEvent{
             TraceEventType::memFlush, TraceCategory::mem, core, when,
-            lineAlign(addr),
-            static_cast<std::uint64_t>(ServedBy::none), 0});
+            line, static_cast<std::uint64_t>(ServedBy::none), 0});
     }
-    const PAddr line = lineAlign(addr);
     const TimingParams &t = config_.timing;
 
+    // Directory-guided invalidation: only the sockets whose presence
+    // bit is set can hold the line, and their residency bits name the
+    // exact private holders. Iterating sockets then bits in ascending
+    // order visits the same cores in the same order as the old
+    // every-core scan.
     bool dirty = false;
-    for (int c = 0; c < config_.numCores(); ++c) {
-        const Mesi st = privateState(c, line);
-        if (isDirtyState(st))
-            dirty = true;
-        if (st != Mesi::invalid)
-            invalidatePrivate(c, line);
-    }
+    const std::uint32_t pres = presenceBits(line);
     for (int s = 0; s < config_.sockets; ++s) {
+        if (!(pres & (1u << s)))
+            continue;
+        std::uint32_t bits = residencyBits(s, line);
+        while (bits) {
+            const std::uint32_t bit = bits & (~bits + 1);
+            bits ^= bit;
+            const CoreId c = coreFromBit(s, bit);
+            if (isDirtyState(privState(c, line)))
+                dirty = true;
+            invalidatePrivate(c, line);
+        }
         auto &sk = sockets_[static_cast<std::size_t>(s)];
         if (CacheLine *L = sk.llc->find(line)) {
             if (L->dirty)
                 dirty = true;
             sk.llc->invalidate(line);
         }
-    }
-    if (!config_.llcInclusive) {
-        for (auto &dir : snoopFilter_)
-            dir.erase(line);
+        if (!config_.llcInclusive)
+            snoopFilter_[static_cast<std::size_t>(s)].erase(line);
     }
     globalDir_.erase(line);
     if (dirty) {
@@ -625,7 +631,7 @@ MemorySystem::handleLlcVictim(SocketId socket, const CacheLine &victim,
         const std::uint32_t bit = bits & (~bits + 1);
         bits ^= bit;
         const CoreId core = coreFromBit(socket, bit);
-        if (isDirtyState(privateState(core, victim.addr)))
+        if (isDirtyState(privState(core, victim.addr)))
             dirty = true;
         invalidatePrivate(core, victim.addr);
         ++stats_.backInvalidations;
@@ -638,13 +644,13 @@ MemorySystem::handleLlcVictim(SocketId socket, const CacheLine &victim,
         pubCoh(trace_, TraceEventType::cohWriteback, invalidCore,
                victim.addr, when);
     }
-    auto it = globalDir_.find(victim.addr);
-    panic_if(it == globalDir_.end(),
+    std::uint32_t *dir_bits = globalDir_.find(victim.addr);
+    panic_if(!dir_bits,
              "LLC victim line ", victim.addr,
              " missing from the global directory");
-    it->second &= ~(1u << socket);
-    if (it->second == 0)
-        globalDir_.erase(it);
+    *dir_bits &= ~(1u << socket);
+    if (*dir_bits == 0)
+        globalDir_.erase(victim.addr);
 }
 
 CoreId
@@ -658,7 +664,7 @@ MemorySystem::dirtySharerOf(SocketId socket, std::uint32_t core_valid,
         const std::uint32_t bit = bits & (~bits + 1);
         bits ^= bit;
         const CoreId core = coreFromBit(socket, bit);
-        if (privateState(core, line) == Mesi::owned)
+        if (privState(core, line) == Mesi::owned)
             return core;
     }
     return invalidCore;
@@ -667,9 +673,20 @@ MemorySystem::dirtySharerOf(SocketId socket, std::uint32_t core_valid,
 void
 MemorySystem::clearForwarder(PAddr line)
 {
-    for (int c = 0; c < config_.numCores(); ++c) {
-        if (privateState(c, line) == Mesi::forward)
-            setPrivateState(c, line, Mesi::shared);
+    // Directory-guided: only cores with a residency bit in a present
+    // socket can hold the F copy.
+    const std::uint32_t pres = presenceBits(line);
+    for (int s = 0; s < config_.sockets; ++s) {
+        if (!(pres & (1u << s)))
+            continue;
+        std::uint32_t bits = residencyBits(s, line);
+        while (bits) {
+            const std::uint32_t bit = bits & (~bits + 1);
+            bits ^= bit;
+            const CoreId c = coreFromBit(s, bit);
+            if (privState(c, line) == Mesi::forward)
+                setPrivateState(c, line, Mesi::shared);
+        }
     }
 }
 
@@ -689,28 +706,45 @@ MemorySystem::invalidateOthers(CoreId keep_core, PAddr line, Tick when)
 {
     const SocketId keep_socket = socketOf(keep_core);
     bool had_remote = false;
-    for (int c = 0; c < config_.numCores(); ++c) {
-        if (c == keep_core)
+    // Directory-guided: visit only the cores whose residency bit is
+    // set in a present socket (ascending, matching the old scan of
+    // every core). The bit vector is snapshotted per socket because
+    // clearResidency mutates the snoop filter as we go.
+    const std::uint32_t pres = presenceBits(line);
+    for (int s = 0; s < config_.sockets; ++s) {
+        if (!(pres & (1u << s)))
             continue;
-        const Mesi st = privateState(c, line);
-        if (st == Mesi::invalid)
-            continue;
-        if (isDirtyState(st)) {
-            // The dirty data moves to the new owner with the RFO
-            // response; account the line as dirty at its LLC so it
-            // is not silently dropped.
-            auto &vsk = sockets_[static_cast<std::size_t>(
-                config_.socketOf(c))];
-            if (CacheLine *V = vsk.llc->find(line))
-                V->dirty = true;
+        auto &vsk = sockets_[static_cast<std::size_t>(s)];
+        std::uint32_t bits = residencyBits(s, line);
+        while (bits) {
+            const std::uint32_t bit = bits & (~bits + 1);
+            bits ^= bit;
+            const CoreId c = coreFromBit(s, bit);
+            if (c == keep_core)
+                continue;
+            const Mesi st = privState(c, line);
+            if (st == Mesi::invalid)
+                continue;
+            if (isDirtyState(st)) {
+                // The dirty data moves to the new owner with the RFO
+                // response; account the line as dirty at its LLC so
+                // it is not silently dropped.
+                if (CacheLine *V = vsk.llc->find(line))
+                    V->dirty = true;
+            }
+            if (s != keep_socket)
+                had_remote = true;
+            invalidatePrivate(c, line);
+            if (!config_.llcInclusive)
+                clearResidency(s, line, c);
         }
-        if (config_.socketOf(c) != keep_socket)
-            had_remote = true;
-        invalidatePrivate(c, line);
-        if (!config_.llcInclusive)
-            clearResidency(config_.socketOf(c), line, c);
     }
     for (int s = 0; s < config_.sockets; ++s) {
+        // The presence bits were snapshotted above, but LLC presence
+        // implies a directory bit (invariant), so sockets outside
+        // @c pres cannot cache the line.
+        if (!(pres & (1u << s)))
+            continue;
         auto &sk = sockets_[static_cast<std::size_t>(s)];
         CacheLine *L = sk.llc->find(line);
         if (!L)
@@ -718,7 +752,7 @@ MemorySystem::invalidateOthers(CoreId keep_core, PAddr line, Tick when)
         if (s == keep_socket) {
             if (config_.llcInclusive) {
                 L->coreValid =
-                    privateState(keep_core, line) != Mesi::invalid
+                    privState(keep_core, line) != Mesi::invalid
                         ? coreBit(keep_core)
                         : 0;
             }
@@ -726,11 +760,10 @@ MemorySystem::invalidateOthers(CoreId keep_core, PAddr line, Tick when)
             had_remote = true;
             sk.llc->invalidate(line);
             if (config_.llcInclusive) {
-                auto it = globalDir_.find(line);
-                if (it != globalDir_.end()) {
-                    it->second &= ~(1u << s);
-                    if (it->second == 0)
-                        globalDir_.erase(it);
+                if (std::uint32_t *gb = globalDir_.find(line)) {
+                    *gb &= ~(1u << s);
+                    if (*gb == 0)
+                        globalDir_.erase(line);
                 }
             } else {
                 reconcilePresence(s, line);

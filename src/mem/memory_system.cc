@@ -94,6 +94,12 @@ Tick
 MemorySystem::jitter()
 {
     const TimingParams &t = config_.timing;
+    // Degenerate noise model: nothing to draw. Taken only by "quiet"
+    // configs (unit tests, micro-benchmarks); any config with noise
+    // enabled keeps drawing from the RNG exactly as before, so
+    // seeded experiment outputs are unchanged bit for bit.
+    if (t.jitterSd == 0.0 && t.longTailProb <= 0.0)
+        return 0;
     double j = rng_.gaussian(0.0, t.jitterSd);
     // Latency can come in slightly under the mean but never collapse.
     j = std::max(j, -2.5 * t.jitterSd);
@@ -108,16 +114,38 @@ MemorySystem::jitter()
                base + static_cast<std::int64_t>(extra), 0));
 }
 
+LineSnapshot
+MemorySystem::inspect(PAddr addr) const
+{
+    const PAddr line = lineAlign(addr);
+    LineSnapshot snap;
+    snap.line = line;
+    snap.presence = globalDir_.lookup(line);
+    const int cores = config_.numCores();
+    snap.priv.resize(static_cast<std::size_t>(cores));
+    for (int c = 0; c < cores; ++c)
+        snap.priv[static_cast<std::size_t>(c)] = privState(c, line);
+    snap.sockets.resize(static_cast<std::size_t>(config_.sockets));
+    for (int s = 0; s < config_.sockets; ++s) {
+        LineSnapshot::SocketView &v =
+            snap.sockets[static_cast<std::size_t>(s)];
+        const Cache &llc =
+            *sockets_[static_cast<std::size_t>(s)].llc;
+        if (const CacheLine *L = llc.find(line)) {
+            v.llcHas = true;
+            v.coreValid = L->coreValid;
+            v.dirty = L->dirty;
+            v.ownerModified = L->ownerModified;
+        }
+        v.residency = residencyBits(s, line);
+    }
+    return snap;
+}
+
 Mesi
 MemorySystem::privateState(CoreId core, PAddr addr) const
 {
-    const PAddr line = lineAlign(addr);
-    const auto idx = static_cast<std::size_t>(core);
-    if (const CacheLine *l = l1s_[idx]->find(line))
-        return l->state;
-    if (const CacheLine *l = l2s_[idx]->find(line))
-        return l->state;
-    return Mesi::invalid;
+    return privState(core, lineAlign(addr));
 }
 
 std::uint32_t
@@ -139,8 +167,7 @@ MemorySystem::llcHas(SocketId socket, PAddr addr) const
 std::uint32_t
 MemorySystem::socketPresence(PAddr addr) const
 {
-    const auto it = globalDir_.find(lineAlign(addr));
-    return it == globalDir_.end() ? 0 : it->second;
+    return globalDir_.lookup(lineAlign(addr));
 }
 
 std::string
@@ -184,43 +211,44 @@ MemorySystem::checkInvariants() const
                         actual[line.addr] |= 1u << i;
                     });
             }
-            const auto &dir =
+            const LineMap &dir =
                 snoopFilter_[static_cast<std::size_t>(s)];
             for (const auto &[addr, bits] : actual) {
-                const auto it = dir.find(addr);
-                if (it == dir.end() || it->second != bits) {
+                if (dir.lookup(addr) != bits) {
                     return msgCat("socket ", s, " line ", addr,
-                                  " snoop filter ",
-                                  it == dir.end() ? 0u : it->second,
+                                  " snoop filter ", dir.lookup(addr),
                                   " != actual residency ", bits);
                 }
             }
-            for (const auto &[addr, bits] : dir) {
+            std::string bad;
+            dir.forEach([&](PAddr addr, std::uint32_t bits) {
+                if (!bad.empty())
+                    return;
                 const auto it = actual.find(addr);
                 if (it == actual.end() || it->second != bits) {
-                    return msgCat("socket ", s,
-                                  " snoop filter line ", addr,
-                                  " bits ", bits,
-                                  " != actual residency ",
-                                  it == actual.end() ? 0u
-                                                     : it->second);
+                    bad = msgCat("socket ", s,
+                                 " snoop filter line ", addr,
+                                 " bits ", bits,
+                                 " != actual residency ",
+                                 it == actual.end() ? 0u
+                                                    : it->second);
                 }
-            }
+            });
+            if (!bad.empty())
+                return bad;
             // The global directory must cover every present line.
             auto present = [&](PAddr addr) {
-                const auto git = globalDir_.find(addr);
-                return git != globalDir_.end() &&
-                       (git->second & (1u << s));
+                return (globalDir_.lookup(addr) & (1u << s)) != 0;
             };
-            for (const auto &[addr, bits] : dir) {
-                (void)bits;
-                if (!present(addr)) {
-                    return msgCat("socket ", s, " line ", addr,
-                                  " resident but absent from the "
-                                  "global directory");
+            dir.forEach([&](PAddr addr, std::uint32_t) {
+                if (bad.empty() && !present(addr)) {
+                    bad = msgCat("socket ", s, " line ", addr,
+                                 " resident but absent from the "
+                                 "global directory");
                 }
-            }
-            std::string bad;
+            });
+            if (!bad.empty())
+                return bad;
             sockets_[static_cast<std::size_t>(s)]
                 .llc->forEachLine([&](const CacheLine &line) {
                     if (bad.empty() && !present(line.addr)) {
@@ -292,26 +320,28 @@ MemorySystem::checkInvariants() const
     }
     if (config_.llcInclusive) {
         for (const auto &[addr, bits] : llc_presence) {
-            const auto it = globalDir_.find(addr);
-            if (it == globalDir_.end() || it->second != bits) {
+            if (globalDir_.lookup(addr) != bits) {
                 return msgCat("line ", addr,
                               " global directory bits ",
-                              it == globalDir_.end() ? 0u
-                                                     : it->second,
+                              globalDir_.lookup(addr),
                               " != LLC presence ", bits);
             }
         }
-        for (const auto &[addr, bits] : globalDir_) {
+        std::string bad;
+        globalDir_.forEach([&](PAddr addr, std::uint32_t bits) {
+            if (!bad.empty())
+                return;
             const auto it = llc_presence.find(addr);
             if (it == llc_presence.end() || it->second != bits) {
-                return msgCat("line ", addr,
-                              " in global directory with bits ",
-                              bits, " but LLC presence is ",
-                              it == llc_presence.end()
-                                  ? 0u
-                                  : it->second);
+                bad = msgCat("line ", addr,
+                             " in global directory with bits ",
+                             bits, " but LLC presence is ",
+                             it == llc_presence.end() ? 0u
+                                                      : it->second);
             }
-        }
+        });
+        if (!bad.empty())
+            return bad;
     }
 
     // Count private copies and special states per line, globally.
@@ -396,11 +426,14 @@ std::uint32_t
 MemorySystem::residencyBits(SocketId socket, PAddr line) const
 {
     if (config_.llcInclusive) {
-        return llcCoreValid(socket, line);
+        const auto &llc =
+            *sockets_[static_cast<std::size_t>(socket)].llc;
+        if (const CacheLine *l = llc.find(line))
+            return l->coreValid;
+        return 0;
     }
-    const auto &dir = snoopFilter_[static_cast<std::size_t>(socket)];
-    const auto it = dir.find(line);
-    return it == dir.end() ? 0 : it->second;
+    return snoopFilter_[static_cast<std::size_t>(socket)]
+        .lookup(line);
 }
 
 void
@@ -431,13 +464,13 @@ MemorySystem::clearResidency(SocketId socket, PAddr line,
         }
         return;
     }
-    auto &dir = snoopFilter_[static_cast<std::size_t>(socket)];
-    const auto it = dir.find(line);
-    if (it == dir.end())
+    LineMap &dir = snoopFilter_[static_cast<std::size_t>(socket)];
+    std::uint32_t *bits = dir.find(line);
+    if (!bits)
         return;
-    it->second &= ~coreBit(core);
-    if (it->second == 0) {
-        dir.erase(it);
+    *bits &= ~coreBit(core);
+    if (*bits == 0) {
+        dir.erase(line);
         reconcilePresence(socket, line);
     }
 }
@@ -453,11 +486,10 @@ MemorySystem::reconcilePresence(SocketId socket, PAddr line)
         sockets_[static_cast<std::size_t>(socket)].llc->find(line)) {
         return;
     }
-    auto it = globalDir_.find(line);
-    if (it != globalDir_.end()) {
-        it->second &= ~(1u << socket);
-        if (it->second == 0)
-            globalDir_.erase(it);
+    if (std::uint32_t *bits = globalDir_.find(line)) {
+        *bits &= ~(1u << socket);
+        if (*bits == 0)
+            globalDir_.erase(line);
     }
 }
 

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/line_map.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -49,6 +50,40 @@ struct MemStats
 };
 
 /**
+ * Immutable point-in-time view of one line across the whole machine:
+ * per-core private state, per-socket LLC/directory state and the
+ * home-agent presence bits, gathered consistently in one call.
+ * Produced by MemorySystem::inspect(); replaces the four ad-hoc
+ * accessors (privateState / llcCoreValid / llcHas / socketPresence).
+ */
+struct LineSnapshot
+{
+    PAddr line = 0;              //!< line-aligned address inspected
+    /** Global directory: bit s set if socket s holds the line. */
+    std::uint32_t presence = 0;
+    /** Private L1/L2 state per core, indexed by CoreId. */
+    std::vector<Mesi> priv;
+
+    /** One socket's shared-level view of the line. */
+    struct SocketView
+    {
+        bool llcHas = false;          //!< LLC data array holds it
+        std::uint32_t coreValid = 0;  //!< LLC directory bits
+        /**
+         * Effective private-holder bits: equals coreValid with an
+         * inclusive LLC, the snoop-filter entry otherwise.
+         */
+        std::uint32_t residency = 0;
+        bool dirty = false;           //!< LLC copy newer than DRAM
+        bool ownerModified = false;   //!< E->M upgrade notification
+    };
+    std::vector<SocketView> sockets;  //!< indexed by SocketId
+
+    /** Whether any cache in the machine holds the line. */
+    bool heldAnywhere() const { return presence != 0; }
+};
+
+/**
  * Owns every cache in the machine and implements the coherence
  * protocol over physical addresses. The OS layer sits on top,
  * translating virtual addresses.
@@ -73,13 +108,19 @@ class MemorySystem
      * These do not advance time or disturb state.
      * @{
      */
+    /** Snapshot everything the machine knows about one line. */
+    LineSnapshot inspect(PAddr addr) const;
     /** Combined L1/L2 state of a line in a core's private caches. */
+    [[deprecated("use inspect(addr).priv[core]")]]
     Mesi privateState(CoreId core, PAddr addr) const;
     /** Core-valid bit vector the LLC directory holds for a line. */
+    [[deprecated("use inspect(addr).sockets[socket].coreValid")]]
     std::uint32_t llcCoreValid(SocketId socket, PAddr addr) const;
     /** Whether a socket's LLC holds the line. */
+    [[deprecated("use inspect(addr).sockets[socket].llcHas")]]
     bool llcHas(SocketId socket, PAddr addr) const;
     /** Sockets whose hierarchy holds the line (global directory). */
+    [[deprecated("use inspect(addr).presence")]]
     std::uint32_t socketPresence(PAddr addr) const;
     /**
      * Verify every coherence invariant (single E/M owner, inclusion,
@@ -208,6 +249,31 @@ class MemorySystem
     void clearForwarder(PAddr line);
     /** @} */
 
+    /**
+     * @name Internal introspection
+     * Hot-path equivalents of the public accessors: they take a
+     * pre-aligned line address and carry no deprecation baggage.
+     * @{
+     */
+    /** Combined L1/L2 state of @p line in @p core's private caches. */
+    Mesi
+    privState(CoreId core, PAddr line) const
+    {
+        const auto idx = static_cast<std::size_t>(core);
+        if (const CacheLine *l = l1s_[idx]->find(line))
+            return l->state;
+        if (const CacheLine *l = l2s_[idx]->find(line))
+            return l->state;
+        return Mesi::invalid;
+    }
+    /** Socket presence bits of @p line in the global directory. */
+    std::uint32_t
+    presenceBits(PAddr line) const
+    {
+        return globalDir_.lookup(line);
+    }
+    /** @} */
+
     /** @name Timing helpers (memory_system.cc) */
     /** @{ */
     /** Queue on a resource; returns wait cycles, updates its meter. */
@@ -225,14 +291,18 @@ class MemorySystem
     std::vector<std::unique_ptr<Cache>> l1s_;  //!< per core
     std::vector<std::unique_ptr<Cache>> l2s_;  //!< per core
     std::vector<Socket> sockets_;
-    /** Home-agent directory: socket presence bits per line. */
-    std::unordered_map<PAddr, std::uint32_t> globalDir_;
+    /**
+     * Home-agent directory: socket presence bits per line. Consulted
+     * on every private miss and erased/inserted on every LLC fill or
+     * eviction, so it uses the flat open-addressed LineMap rather
+     * than a node-based map.
+     */
+    LineMap globalDir_;
     /**
      * Non-inclusive mode only: per-socket snoop filter tracking
      * private residency independently of the LLC data array.
      */
-    std::vector<std::unordered_map<PAddr, std::uint32_t>>
-        snoopFilter_;
+    std::vector<LineMap> snoopFilter_;
     Resource qpi_;
     Resource dram_;
     /** Summed utilization of resources the current load traversed. */

@@ -77,6 +77,12 @@ class TraceBus
     publish(const TraceEvent &ev) const
     {
         const std::uint32_t bit = categoryBit(ev.category);
+        // One branch when the category has no audience: publish
+        // sites that cannot guard with enabled<C>() (dynamic
+        // category, or events built unconditionally) still cost
+        // nearly nothing while nobody listens.
+        if ((liveMask_ & bit) == 0)
+            return;
         ++published_;
         for (const Sub &s : subs_) {
             if (s.mask & bit)

@@ -49,10 +49,10 @@ TEST_F(CoherenceTest, FirstLoadInstallsExclusive)
     const auto res = mem.load(0, lineB, 0);
     EXPECT_EQ(res.servedBy, ServedBy::dram);
     EXPECT_EQ(res.latency, mem.config().timing.dramLat());
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::exclusive);
-    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b1u);
-    EXPECT_TRUE(mem.llcHas(0, lineB));
-    EXPECT_EQ(mem.socketPresence(lineB), 0b1u);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::exclusive);
+    EXPECT_EQ(mem.inspect(lineB).sockets[0].coreValid, 0b1u);
+    EXPECT_TRUE(mem.inspect(lineB).sockets[0].llcHas);
+    EXPECT_EQ(mem.inspect(lineB).presence, 0b1u);
     expectClean();
 }
 
@@ -71,9 +71,9 @@ TEST_F(CoherenceTest, SecondCoreReadForwardsFromOwner)
     EXPECT_EQ(res.servedBy, ServedBy::localOwner);
     EXPECT_EQ(res.latency, mem.config().timing.localExclLat());
     // Both copies downgrade to S; directory shows two sharers.
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::shared);
-    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b11u);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).sockets[0].coreValid, 0b11u);
     expectClean();
 }
 
@@ -84,7 +84,7 @@ TEST_F(CoherenceTest, ThirdCoreReadServedByLlc)
     const auto res = mem.load(2, lineB, 1'000);
     EXPECT_EQ(res.servedBy, ServedBy::localLlc);
     EXPECT_EQ(res.latency, mem.config().timing.localSharedLat());
-    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b111u);
+    EXPECT_EQ(mem.inspect(lineB).sockets[0].coreValid, 0b111u);
     expectClean();
 }
 
@@ -94,11 +94,11 @@ TEST_F(CoherenceTest, RemoteReadOfExclusiveForwardsFromRemoteOwner)
     const auto res = mem.load(6, lineB, 500);  // socket 1 core
     EXPECT_EQ(res.servedBy, ServedBy::remoteOwner);
     EXPECT_EQ(res.latency, mem.config().timing.remoteExclLat());
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
-    EXPECT_EQ(mem.privateState(6, lineB), Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[6], Mesi::shared);
     // Both sockets now hold the line.
-    EXPECT_EQ(mem.socketPresence(lineB), 0b11u);
-    EXPECT_TRUE(mem.llcHas(1, lineB));
+    EXPECT_EQ(mem.inspect(lineB).presence, 0b11u);
+    EXPECT_TRUE(mem.inspect(lineB).sockets[1].llcHas);
     expectClean();
 }
 
@@ -119,7 +119,7 @@ TEST_F(CoherenceTest, LoadAfterRemoteInstallIsSharedEverywhere)
     // A second core on socket 1 is served by its own (local) LLC.
     const auto res = mem.load(7, lineB, 1'000);
     EXPECT_EQ(res.servedBy, ServedBy::localLlc);
-    EXPECT_EQ(mem.privateState(7, lineB), Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[7], Mesi::shared);
     expectClean();
 }
 
@@ -129,16 +129,16 @@ TEST_F(CoherenceTest, FlushRemovesEveryCopy)
     mem.load(1, lineB, 100);
     mem.load(6, lineB, 200);
     mem.flush(3, lineB, 300);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.privateState(6, lineB), Mesi::invalid);
-    EXPECT_FALSE(mem.llcHas(0, lineB));
-    EXPECT_FALSE(mem.llcHas(1, lineB));
-    EXPECT_EQ(mem.socketPresence(lineB), 0u);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[6], Mesi::invalid);
+    EXPECT_FALSE(mem.inspect(lineB).sockets[0].llcHas);
+    EXPECT_FALSE(mem.inspect(lineB).sockets[1].llcHas);
+    EXPECT_EQ(mem.inspect(lineB).presence, 0u);
     // Next load goes all the way to DRAM and is E again.
     const auto res = mem.load(2, lineB, 400);
     EXPECT_EQ(res.servedBy, ServedBy::dram);
-    EXPECT_EQ(mem.privateState(2, lineB), Mesi::exclusive);
+    EXPECT_EQ(mem.inspect(lineB).priv[2], Mesi::exclusive);
     expectClean();
 }
 
@@ -161,7 +161,7 @@ TEST_F(CoherenceTest, StoreOnExclusiveUpgradesSilently)
     mem.load(0, lineB, 0);
     const auto before = mem.stats().upgrades;
     mem.store(0, lineB, 100);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::modified);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::modified);
     // Silent upgrade: no invalidation round counted.
     EXPECT_EQ(mem.stats().upgrades, before);
     expectClean();
@@ -173,13 +173,13 @@ TEST_F(CoherenceTest, StoreOnSharedInvalidatesOtherCopies)
     mem.load(1, lineB, 100);
     mem.load(6, lineB, 200);
     mem.store(0, lineB, 300);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::modified);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.privateState(6, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0b1u);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::modified);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[6], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).sockets[0].coreValid, 0b1u);
     // The remote socket dropped its LLC copy entirely.
-    EXPECT_FALSE(mem.llcHas(1, lineB));
-    EXPECT_EQ(mem.socketPresence(lineB), 0b1u);
+    EXPECT_FALSE(mem.inspect(lineB).sockets[1].llcHas);
+    EXPECT_EQ(mem.inspect(lineB).presence, 0b1u);
     expectClean();
 }
 
@@ -187,8 +187,8 @@ TEST_F(CoherenceTest, StoreMissGainsOwnership)
 {
     mem.load(1, lineB, 0);
     mem.store(0, lineB, 100);  // write miss from another core
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::modified);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::modified);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::invalid);
     expectClean();
 }
 
@@ -199,8 +199,8 @@ TEST_F(CoherenceTest, ReadOfModifiedForwardsAndWritesBack)
     const auto before = mem.stats().writebacks;
     const auto res = mem.load(1, lineB, 200);
     EXPECT_EQ(res.servedBy, ServedBy::localOwner);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::shared);
     EXPECT_GT(mem.stats().writebacks, before);
     expectClean();
 }
@@ -211,7 +211,7 @@ TEST_F(CoherenceTest, RemoteReadOfModifiedForwards)
     mem.store(0, lineB, 100);
     const auto res = mem.load(6, lineB, 200);
     EXPECT_EQ(res.servedBy, ServedBy::remoteOwner);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::shared);
     expectClean();
 }
 
@@ -227,9 +227,9 @@ TEST_F(CoherenceTest, PrivateEvictionNotifiesDirectory)
         mem.load(0, lineB + static_cast<PAddr>(i) * l2_sets * 64,
                  i * 1'000);
     }
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.llcCoreValid(0, lineB), 0u);
-    EXPECT_TRUE(mem.llcHas(0, lineB));
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).sockets[0].coreValid, 0u);
+    EXPECT_TRUE(mem.inspect(lineB).sockets[0].llcHas);
     const auto res = mem.load(1, lineB, 100'000);
     EXPECT_EQ(res.servedBy, ServedBy::localLlc);
     expectClean();
@@ -246,7 +246,7 @@ TEST_F(CoherenceTest, DirtyPrivateEvictionWritesBackToLlc)
         mem.load(0, lineB + static_cast<PAddr>(i) * l2_sets * 64,
                  i * 1'000);
     }
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
     EXPECT_GT(mem.stats().writebacks, before);
     expectClean();
 }
@@ -261,14 +261,14 @@ TEST(CoherenceSmallLlc, LlcEvictionBackInvalidatesPrivates)
     MemorySystem mem(cfg);
     const unsigned llc_sets = cfg.llc.numSets();
     mem.load(0, lineB, 0);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::exclusive);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::exclusive);
     // Two conflicting LLC lines from another core displace lineB.
     mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 64, 1'000);
     mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 2 * 64,
              2'000);
-    EXPECT_FALSE(mem.llcHas(0, lineB));
+    EXPECT_FALSE(mem.inspect(lineB).sockets[0].llcHas);
     // Inclusive hierarchy: the private copy was back-invalidated.
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
     EXPECT_GT(mem.stats().backInvalidations, 0u);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
@@ -284,7 +284,7 @@ TEST_F(CoherenceTest, MitigationServesExclusiveFromLlc)
     const auto res = m.load(1, lineB, 500);
     EXPECT_EQ(res.servedBy, ServedBy::localLlc);
     EXPECT_EQ(res.latency, cfg.timing.localSharedLat());
-    EXPECT_EQ(m.privateState(0, lineB), Mesi::shared);
+    EXPECT_EQ(m.inspect(lineB).priv[0], Mesi::shared);
     EXPECT_EQ(m.checkInvariants(), "");
 }
 
@@ -450,6 +450,56 @@ TEST(ServicePaths, AllFourCombosDistinctAndOrdered)
     EXPECT_LT(t.remoteSharedLat(), t.remoteExclLat());
     EXPECT_LT(t.remoteExclLat(), t.dramLat());
 }
+
+// Pin the deprecated accessors to inspect(): both views of the same
+// machine state must agree on every field, for every core and
+// socket, across a spread of protocol situations. This is the
+// contract that lets downstream users migrate at their own pace.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(InspectEquivalence, LegacyAccessorsAgreeWithSnapshot)
+{
+    SystemConfig cfg = quietConfig();
+    MemorySystem mem(cfg);
+    const PAddr lines[] = {lineB, lineB + 64, lineB + 4096,
+                           0x1000};
+    // Drive the lines through E, S, M, cross-socket and flushed
+    // states, checking the equivalence after every step.
+    Tick now = 0;
+    auto checkAll = [&] {
+        for (const PAddr line : lines) {
+            const LineSnapshot snap = mem.inspect(line);
+            EXPECT_EQ(snap.line, lineAlign(line));
+            EXPECT_EQ(snap.presence, mem.socketPresence(line));
+            for (int c = 0; c < cfg.numCores(); ++c) {
+                EXPECT_EQ(snap.priv[static_cast<std::size_t>(c)],
+                          mem.privateState(c, line))
+                    << "core " << c << " line " << line;
+            }
+            for (int s = 0; s < cfg.sockets; ++s) {
+                const auto &v =
+                    snap.sockets[static_cast<std::size_t>(s)];
+                EXPECT_EQ(v.llcHas, mem.llcHas(s, line));
+                EXPECT_EQ(v.coreValid, mem.llcCoreValid(s, line));
+            }
+        }
+    };
+    checkAll();
+    mem.load(0, lineB, now += 100);        // E
+    checkAll();
+    mem.load(1, lineB, now += 100);        // S + S
+    checkAll();
+    mem.store(2, lineB, now += 100);       // M elsewhere
+    checkAll();
+    mem.load(6, lineB, now += 100);        // cross-socket
+    checkAll();
+    mem.load(0, lineB + 64, now += 100);
+    mem.store(0, lineB + 4096, now += 100);
+    checkAll();
+    mem.flush(0, lineB, now += 100);       // gone everywhere
+    checkAll();
+}
+#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace csim

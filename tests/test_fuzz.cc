@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Randomized operation fuzzing of the coherence core.
+ *
+ * Thousands of random load/store/flush operations from random cores
+ * over a small address pool, against deliberately tiny caches so
+ * evictions, back-invalidations and directory churn happen
+ * constantly. After every single step the full invariant checker
+ * must stay silent, and sampled steps must show the legacy accessors
+ * agreeing with inspect(). A companion suite fuzzes LineMap against
+ * std::unordered_map as a reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/line_map.hh"
+#include "common/random.hh"
+#include "mem/memory_system.hh"
+
+namespace csim
+{
+namespace
+{
+
+/**
+ * Quiet timing plus miniature caches: a 64-line pool then thrashes
+ * every level, reaching eviction and victim paths a realistic
+ * geometry would only hit with huge traces.
+ */
+SystemConfig
+fuzzConfig()
+{
+    SystemConfig cfg;
+    cfg.timing.jitterSd = 0.0;
+    cfg.timing.longTailProb = 0.0;
+    cfg.l1 = CacheGeometry{2 * 1024, 2};
+    cfg.l2 = CacheGeometry{4 * 1024, 4};
+    // 48 KiB / (4 * 64) = 192 sets: exercises the non-power-of-two
+    // modulo indexing path just like the real 12288-set LLC.
+    cfg.llc = CacheGeometry{48 * 1024, 4};
+    cfg.seed = 99;
+    return cfg;
+}
+
+/** One fuzzed machine run; returns after @p steps clean steps. */
+void
+fuzzRun(SystemConfig cfg, std::uint64_t rng_seed, int steps)
+{
+    cfg.validate();
+    MemorySystem mem(cfg);
+    Rng rng(rng_seed);
+    const PAddr base = 0x4000'0000;
+    constexpr int poolLines = 64;
+    Tick now = 0;
+
+    for (int i = 0; i < steps; ++i) {
+        const auto core = static_cast<CoreId>(
+            rng.range(0, cfg.numCores() - 1));
+        const PAddr addr =
+            base + static_cast<PAddr>(rng.range(0, poolLines - 1)) *
+                       lineBytes +
+            static_cast<PAddr>(rng.range(0, lineBytes - 1));
+        now += 50;
+        const auto op = rng.range(0, 9);
+        if (op < 5)
+            mem.load(core, addr, now);
+        else if (op < 8)
+            mem.store(core, addr, now);
+        else
+            mem.flush(core, addr, now);
+
+        const std::string bad = mem.checkInvariants();
+        ASSERT_EQ(bad, "")
+            << "step " << i << " op " << op << " core " << core
+            << " addr " << addr;
+    }
+}
+
+TEST(OpFuzz, MesiInclusiveDirectory)
+{
+    fuzzRun(fuzzConfig(), 1001, 10'000);
+}
+
+TEST(OpFuzz, MesiNonInclusive)
+{
+    SystemConfig cfg = fuzzConfig();
+    cfg.llcInclusive = false;
+    fuzzRun(cfg, 1002, 10'000);
+}
+
+TEST(OpFuzz, MesifInclusive)
+{
+    SystemConfig cfg = fuzzConfig();
+    cfg.flavor = CoherenceFlavor::mesif;
+    fuzzRun(cfg, 1003, 10'000);
+}
+
+TEST(OpFuzz, MoesiInclusive)
+{
+    SystemConfig cfg = fuzzConfig();
+    cfg.flavor = CoherenceFlavor::moesi;
+    fuzzRun(cfg, 1004, 10'000);
+}
+
+TEST(OpFuzz, MoesiNonInclusiveSnoop)
+{
+    SystemConfig cfg = fuzzConfig();
+    cfg.flavor = CoherenceFlavor::moesi;
+    cfg.llcInclusive = false;
+    cfg.lookup = CoherenceLookup::snoop;
+    fuzzRun(cfg, 1005, 10'000);
+}
+
+// The deprecated accessors must stay bit-equivalent to inspect() on
+// arbitrary fuzzed machine states, not just the hand-built ones of
+// test_coherence.cc.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(OpFuzz, InspectMatchesLegacyAccessorsOnFuzzedStates)
+{
+    for (const bool inclusive : {true, false}) {
+        SystemConfig cfg = fuzzConfig();
+        cfg.llcInclusive = inclusive;
+        cfg.flavor = CoherenceFlavor::mesif;
+        cfg.validate();
+        MemorySystem mem(cfg);
+        Rng rng(77);
+        const PAddr base = 0x4000'0000;
+        Tick now = 0;
+        for (int i = 0; i < 2'000; ++i) {
+            const auto core = static_cast<CoreId>(
+                rng.range(0, cfg.numCores() - 1));
+            const PAddr addr =
+                base +
+                static_cast<PAddr>(rng.range(0, 63)) * lineBytes;
+            now += 50;
+            const auto op = rng.range(0, 9);
+            if (op < 5)
+                mem.load(core, addr, now);
+            else if (op < 8)
+                mem.store(core, addr, now);
+            else
+                mem.flush(core, addr, now);
+            if (i % 50 != 0)
+                continue;
+            for (int l = 0; l < 64; ++l) {
+                const PAddr line =
+                    base + static_cast<PAddr>(l) * lineBytes;
+                const LineSnapshot snap = mem.inspect(line);
+                ASSERT_EQ(snap.presence, mem.socketPresence(line));
+                for (int c = 0; c < cfg.numCores(); ++c) {
+                    ASSERT_EQ(
+                        snap.priv[static_cast<std::size_t>(c)],
+                        mem.privateState(c, line));
+                }
+                for (int s = 0; s < cfg.sockets; ++s) {
+                    const auto &v =
+                        snap.sockets[static_cast<std::size_t>(s)];
+                    ASSERT_EQ(v.llcHas, mem.llcHas(s, line));
+                    ASSERT_EQ(v.coreValid,
+                              mem.llcCoreValid(s, line));
+                }
+            }
+        }
+    }
+}
+#pragma GCC diagnostic pop
+
+// LineMap vs std::unordered_map as a reference model: random
+// insert/erase/lookup sequences over a small key pool (high
+// collision pressure) must agree at every step, including full
+// iteration contents.
+TEST(LineMapFuzz, MatchesUnorderedMapReference)
+{
+    LineMap map(16);
+    std::unordered_map<PAddr, std::uint32_t> ref;
+    Rng rng(4242);
+    for (int i = 0; i < 50'000; ++i) {
+        const PAddr key =
+            static_cast<PAddr>(rng.range(0, 255)) * lineBytes;
+        const auto op = rng.range(0, 9);
+        if (op < 5) {
+            const auto v =
+                static_cast<std::uint32_t>(rng.range(1, 1 << 20));
+            map[key] |= v;
+            ref[key] |= v;
+        } else if (op < 8) {
+            ASSERT_EQ(map.erase(key), ref.erase(key) > 0) << key;
+        } else {
+            const auto it = ref.find(key);
+            ASSERT_EQ(map.lookup(key),
+                      it == ref.end() ? 0u : it->second)
+                << key;
+            const std::uint32_t *p = map.find(key);
+            ASSERT_EQ(p != nullptr, it != ref.end()) << key;
+        }
+        ASSERT_EQ(map.size(), ref.size());
+    }
+    // Full-contents equivalence at the end.
+    std::size_t seen = 0;
+    map.forEach([&](PAddr key, std::uint32_t value) {
+        ++seen;
+        const auto it = ref.find(key);
+        ASSERT_NE(it, ref.end()) << key;
+        ASSERT_EQ(it->second, value) << key;
+    });
+    ASSERT_EQ(seen, ref.size());
+}
+
+TEST(LineMapFuzz, GrowthAndClear)
+{
+    LineMap map;
+    for (PAddr i = 0; i < 10'000; ++i)
+        map[i * lineBytes] = static_cast<std::uint32_t>(i + 1);
+    ASSERT_EQ(map.size(), 10'000u);
+    for (PAddr i = 0; i < 10'000; ++i)
+        ASSERT_EQ(map.lookup(i * lineBytes),
+                  static_cast<std::uint32_t>(i + 1));
+    map.clear();
+    ASSERT_TRUE(map.empty());
+    ASSERT_EQ(map.lookup(0), 0u);
+}
+
+} // namespace
+} // namespace csim

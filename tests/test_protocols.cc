@@ -61,8 +61,8 @@ TEST(Moesi, ReadOfModifiedCreatesOwnedWithoutWriteback)
     // The owner services the read, keeps the dirty line in O state
     // and performs no writeback (paper §II-B).
     EXPECT_EQ(res.servedBy, ServedBy::localOwner);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::owned);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::owned);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::shared);
     EXPECT_EQ(mem.stats().writebacks, wb_before);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
@@ -79,7 +79,7 @@ TEST(Moesi, OwnedServicesFurtherReads)
     EXPECT_EQ(res.servedBy, ServedBy::localOwner);
     EXPECT_EQ(res.latency,
               mem.config().timing.localExclLat());
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::owned);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::owned);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -91,7 +91,7 @@ TEST(Moesi, RemoteReadOfOwnedForwards)
     mem.load(1, lineB, 200);  // O + S on socket 0
     const auto res = mem.load(6, lineB, 300);
     EXPECT_EQ(res.servedBy, ServedBy::remoteOwner);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::owned);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::owned);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -108,7 +108,7 @@ TEST(Moesi, OwnedEvictionWritesBack)
         mem.load(0, lineB + static_cast<PAddr>(i) * l2_sets * 64,
                  1'000 * i);
     }
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
     EXPECT_GT(mem.stats().writebacks, wb_before);
     // With the O copy gone, the LLC (now clean) serves reads.
     const auto res = mem.load(2, lineB, 100'000);
@@ -123,8 +123,8 @@ TEST(Moesi, StoreOnOwnedUpgradesToModified)
     mem.store(0, lineB, 100);
     mem.load(1, lineB, 200);  // O at 0, S at 1
     mem.store(0, lineB, 300); // O -> M, invalidate the S copy
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::modified);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::modified);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::invalid);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -135,8 +135,8 @@ TEST(Moesi, StoreOnSharedInvalidatesOwnedAndKeepsDirty)
     mem.store(0, lineB, 100);
     mem.load(1, lineB, 200);  // O at 0, S at 1
     mem.store(1, lineB, 300); // S upgrade: O copy invalidated
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::modified);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::modified);
     // The displaced dirty data is accounted at the LLC.
     mem.flush(3, lineB, 400);
     EXPECT_EQ(mem.checkInvariants(), "");
@@ -151,7 +151,7 @@ TEST(Moesi, FlushWritesBackOwned)
     const auto res = mem.flush(2, lineB, 300);
     EXPECT_EQ(res.latency, mem.config().timing.flushBase +
                                mem.config().timing.flushDirtyExtra);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -162,7 +162,7 @@ TEST(Moesi, NoOwnedStateUnderPlainMesi)
     mem.store(0, lineB, 100);
     mem.load(1, lineB, 200);
     // MESI: the modified owner downgrades to S with a writeback.
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::shared);
     EXPECT_GT(mem.stats().writebacks, 0u);
 }
 
@@ -173,8 +173,8 @@ TEST(Mesif, ForwardGrantedOnExclusiveDowngrade)
     MemorySystem mem(quietConfig(CoherenceFlavor::mesif));
     mem.load(0, lineB, 0);   // E at core 0
     mem.load(1, lineB, 500); // forward: requester becomes F
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::shared);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::forward);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::forward);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -184,8 +184,8 @@ TEST(Mesif, AtMostOneForwarderGlobally)
     mem.load(0, lineB, 0);
     mem.load(1, lineB, 500);   // F at 1
     mem.load(6, lineB, 1'000); // cross-socket fetch: F migrates
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::shared);
-    EXPECT_EQ(mem.privateState(6, lineB), Mesi::forward);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[6], Mesi::forward);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -204,8 +204,8 @@ TEST(Mesif, StoreOnForwardUpgrades)
     mem.load(0, lineB, 0);
     mem.load(1, lineB, 500);  // F at 1, S at 0
     mem.store(1, lineB, 1'000);
-    EXPECT_EQ(mem.privateState(1, lineB), Mesi::modified);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[1], Mesi::modified);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -362,7 +362,7 @@ TEST(NonInclusive, BasicPathsMatchInclusive)
     MemorySystem mem(nonInclusiveConfig());
     const auto first = mem.load(0, lineB, 0);
     EXPECT_EQ(first.servedBy, ServedBy::dram);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::exclusive);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::exclusive);
     const auto fwd = mem.load(1, lineB, 10'000);
     EXPECT_EQ(fwd.servedBy, ServedBy::localOwner);
     const auto llc = mem.load(2, lineB, 20'000);
@@ -387,8 +387,8 @@ TEST(NonInclusive, LlcEvictionDoesNotBackInvalidate)
     mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 64, 10'000);
     mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 2 * 64,
              20'000);
-    EXPECT_FALSE(mem.llcHas(0, lineB));
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::exclusive);
+    EXPECT_FALSE(mem.inspect(lineB).sockets[0].llcHas);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::exclusive);
     EXPECT_EQ(mem.stats().backInvalidations, 0u);
     // Another core's read is still serviced by the owner forward.
     const auto res = mem.load(2, lineB, 30'000);
@@ -413,8 +413,8 @@ TEST(NonInclusive, SharedDataMissSuppliedCacheToCache)
     mem.load(2, lineB + static_cast<PAddr>(llc_sets) * 64, 20'000);
     mem.load(2, lineB + static_cast<PAddr>(llc_sets) * 2 * 64,
              30'000);
-    ASSERT_FALSE(mem.llcHas(0, lineB));
-    ASSERT_EQ(mem.privateState(0, lineB), Mesi::shared);
+    ASSERT_FALSE(mem.inspect(lineB).sockets[0].llcHas);
+    ASSERT_EQ(mem.inspect(lineB).priv[0], Mesi::shared);
     const auto res = mem.load(3, lineB, 40'000);
     EXPECT_EQ(res.servedBy, ServedBy::localOwner);
     EXPECT_EQ(res.latency, cfg.timing.localExclLat());
@@ -435,7 +435,7 @@ TEST(NonInclusive, DirtyEvictionWithoutLlcDataWritesToMemory)
     mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 64, 20'000);
     mem.load(1, lineB + static_cast<PAddr>(llc_sets) * 2 * 64,
              30'000);
-    ASSERT_EQ(mem.privateState(0, lineB), Mesi::modified);
+    ASSERT_EQ(mem.inspect(lineB).priv[0], Mesi::modified);
     // Now force the M line out of core 0's private caches: it must
     // write back straight to memory.
     const auto wb_before = mem.stats().writebacks;
@@ -447,7 +447,7 @@ TEST(NonInclusive, DirtyEvictionWithoutLlcDataWritesToMemory)
                               llc_sets) * 64,
                  40'000 + i * 10'000);
     }
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
     EXPECT_GT(mem.stats().writebacks, wb_before);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
@@ -458,9 +458,9 @@ TEST(NonInclusive, FlushStillRemovesEverything)
     mem.load(0, lineB, 0);
     mem.load(6, lineB, 10'000);
     mem.flush(3, lineB, 20'000);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.privateState(6, lineB), Mesi::invalid);
-    EXPECT_EQ(mem.socketPresence(lineB), 0u);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).priv[6], Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).presence, 0u);
     const auto res = mem.load(1, lineB, 30'000);
     EXPECT_EQ(res.servedBy, ServedBy::dram);
     EXPECT_EQ(mem.checkInvariants(), "");
@@ -522,14 +522,14 @@ TEST(MultiSocket, ThreeSocketReadChainStaysCoherent)
     EXPECT_EQ(r1.servedBy, ServedBy::remoteOwner);
     const auto r2 = mem.load(8, lineB, 20'000);  // socket 2
     EXPECT_EQ(r2.servedBy, ServedBy::remoteLlc);
-    EXPECT_EQ(mem.socketPresence(lineB), 0b111u);
+    EXPECT_EQ(mem.inspect(lineB).presence, 0b111u);
     for (CoreId c : {0, 4, 8})
-        EXPECT_EQ(mem.privateState(c, lineB), Mesi::shared);
+        EXPECT_EQ(mem.inspect(lineB).priv[c], Mesi::shared);
     EXPECT_EQ(mem.checkInvariants(), "");
     // A store from socket 2 invalidates everything else.
     mem.store(8, lineB, 30'000);
-    EXPECT_EQ(mem.socketPresence(lineB), 0b100u);
-    EXPECT_EQ(mem.privateState(0, lineB), Mesi::invalid);
+    EXPECT_EQ(mem.inspect(lineB).presence, 0b100u);
+    EXPECT_EQ(mem.inspect(lineB).priv[0], Mesi::invalid);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 
@@ -542,8 +542,8 @@ TEST(MultiSocket, MesifForwarderUniqueAcrossThreeSockets)
     mem.load(0, lineB, 0);
     mem.load(4, lineB, 10'000);   // F lands on socket 1's requester
     mem.load(8, lineB, 20'000);   // F migrates to socket 2
-    EXPECT_EQ(mem.privateState(8, lineB), Mesi::forward);
-    EXPECT_EQ(mem.privateState(4, lineB), Mesi::shared);
+    EXPECT_EQ(mem.inspect(lineB).priv[8], Mesi::forward);
+    EXPECT_EQ(mem.inspect(lineB).priv[4], Mesi::shared);
     EXPECT_EQ(mem.checkInvariants(), "");
 }
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Bit-identity gate for the seeded experiment outputs.
+#
+# Runs each seeded bench binary in a scratch directory, normalizes
+# the volatile parts of its output (wall-clock timings and host
+# worker counts), and diffs the result against the committed golden
+# copies under tests/golden/. Any difference means a change altered
+# the simulated results — the optimisation work this repo does on the
+# hot path must keep every one of these outputs bit-identical.
+#
+# Usage: check_golden.sh BUILD_BENCH_DIR [GOLDEN_DIR]
+#   BUILD_BENCH_DIR  directory holding the built bench binaries
+#   GOLDEN_DIR       defaults to <repo>/tests/golden
+#
+# Refresh the goldens after an intentional behaviour change with:
+#   tools/check_golden.sh build/bench --refresh
+
+set -u
+
+here="$(cd "$(dirname "$0")" && pwd)"
+repo="$(dirname "$here")"
+
+refresh=0
+args=()
+for a in "$@"; do
+    if [ "$a" = "--refresh" ]; then refresh=1; else args+=("$a"); fi
+done
+
+bench_dir="${args[0]:?usage: check_golden.sh BUILD_BENCH_DIR [GOLDEN_DIR]}"
+golden_dir="${args[1]:-$repo/tests/golden}"
+bench_dir="$(cd "$bench_dir" && pwd)"
+
+BENCHES="table01_scenarios fig08_accuracy_vs_rate fig09_noise_accuracy \
+ablation_protocols ablation_mitigations ablation_detection"
+
+# Strip the fields that legitimately differ between runs/machines:
+# wall-clock seconds and the worker count, in both the stdout
+# summaries and the BENCH_*.json envelopes.
+normalize() {
+    sed -e '/s wall on [0-9]* worker/d' \
+        -e '/^ *"wall_seconds":/d' \
+        -e '/^ *"jobs":/d' "$1"
+}
+
+status=0
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+for bench in $BENCHES; do
+    out="$scratch/$bench"
+    mkdir -p "$out"
+    # Always run single-worker: results are bit-identical for any
+    # worker count (tested elsewhere); one worker keeps this check
+    # reproducible on loaded CI machines.
+    (cd "$out" && "$bench_dir/$bench" --jobs 1 --quiet \
+        > stdout.raw 2>&1)
+    if [ $? -ne 0 ]; then
+        echo "check_golden: $bench FAILED to run" >&2
+        status=1
+        continue
+    fi
+    mv "$out/stdout.raw" "$out/stdout.txt"
+    if [ "$refresh" -eq 1 ]; then
+        mkdir -p "$golden_dir/$bench"
+        for f in "$out"/*; do
+            normalize "$f" > "$golden_dir/$bench/$(basename "$f")"
+        done
+        echo "check_golden: refreshed $bench"
+        continue
+    fi
+    for f in "$out"/*; do
+        name="$(basename "$f")"
+        gold="$golden_dir/$bench/$name"
+        if [ ! -f "$gold" ]; then
+            echo "check_golden: missing golden $bench/$name" >&2
+            status=1
+            continue
+        fi
+        if ! diff -u "$gold" <(normalize "$f") \
+            > "$scratch/diff.txt" 2>&1; then
+            echo "check_golden: $bench/$name DIFFERS from golden:" >&2
+            cat "$scratch/diff.txt" >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$refresh" -eq 1 ]; then
+    echo "check_golden: goldens written to $golden_dir"
+elif [ "$status" -eq 0 ]; then
+    echo "check_golden: all seeded experiment outputs bit-identical"
+else
+    echo "check_golden: FAILED — seeded outputs changed" >&2
+fi
+exit "$status"

@@ -34,17 +34,8 @@
 #include <utility>
 #include <vector>
 
-#include "channel/channel.hh"
-#include "channel/ecc.hh"
-#include "common/logging.hh"
-#include "channel/symbols.hh"
-#include "common/table_printer.hh"
-#include "config/presets.hh"
-#include "config/resolver.hh"
-#include "runner/json_sink.hh"
-#include "runner/runner.hh"
-#include "trace/perfetto.hh"
-#include "trace/query.hh"
+#include "cohersim/attack.hh"
+#include "cohersim/harness.hh"
 
 namespace
 {
@@ -592,6 +583,97 @@ cmdSymbols(const Args &args)
     return rep.metrics.accuracy > 0.9 ? 0 : 1;
 }
 
+/** One row of `cohersim inspect` output for the current state. */
+void
+snapshotRow(TablePrinter &table, const std::string &step,
+            const MemorySystem &mem, PAddr line)
+{
+    const LineSnapshot snap = mem.inspect(line);
+    const SystemConfig &sys = mem.config();
+    std::string priv;
+    for (int c = 0; c < sys.numCores(); ++c) {
+        if (c > 0 && c % sys.coresPerSocket == 0)
+            priv += '|';
+        const Mesi st = snap.priv[static_cast<std::size_t>(c)];
+        priv += st == Mesi::invalid ? "." : mesiName(st);
+    }
+    std::string per_socket;
+    for (int s = 0; s < sys.sockets; ++s) {
+        const auto &v = snap.sockets[static_cast<std::size_t>(s)];
+        if (s > 0)
+            per_socket += "  ";
+        per_socket += "s" + std::to_string(s) + ":" +
+                      (v.llcHas ? "llc" : "---") + " cv=" +
+                      std::to_string(v.coreValid) + " res=" +
+                      std::to_string(v.residency) +
+                      (v.dirty ? " dirty" : "") +
+                      (v.ownerModified ? " om" : "");
+    }
+    table.row({step, priv, std::to_string(snap.presence),
+               per_socket});
+}
+
+int
+cmdInspect(const Args &args)
+{
+    if (args.help) {
+        std::cout
+            << "cohersim inspect [--line ADDR] [--seed S] "
+               "[--flavor mesi|mesif|moesi]\n"
+               "                 [--system.llc_inclusive BOOL] "
+               "[--lookup directory|snoop]\n"
+               "  --line ADDR  physical address to follow "
+               "(default 0x40000000)\n"
+            << kCommonHelp
+            << "  drives one line through the canonical protocol "
+               "sequence and prints\n"
+               "  the machine-wide LineSnapshot after every step\n";
+        return 0;
+    }
+    const ConfigResolver res = args.resolve();
+    SystemConfig sys = res.spec().channel.system;
+    // Quiet timing: inspect is about state, not latency noise.
+    sys.timing.jitterSd = 0.0;
+    sys.timing.longTailProb = 0.0;
+    MemorySystem mem(sys);
+    const PAddr line = static_cast<PAddr>(
+        std::stoull(args.str("line", "0x40000000"), nullptr, 0));
+    const CoreId remote = sys.coreOf(sys.sockets - 1, 0);
+
+    std::cout << "Following line 0x" << std::hex << lineAlign(line)
+              << std::dec << " ("
+              << coherenceFlavorName(sys.flavor) << ", "
+              << (sys.llcInclusive ? "inclusive" : "non-inclusive")
+              << " LLC). priv: one column per core, '|' between "
+                 "sockets.\n\n";
+    TablePrinter table;
+    table.header({"step", "priv", "dir", "sockets"});
+    Tick now = 0;
+    snapshotRow(table, "initial", mem, line);
+    mem.load(0, line, now += 1000);
+    snapshotRow(table, "load c0 (fill E)", mem, line);
+    mem.load(1, line, now += 1000);
+    snapshotRow(table, "load c1 (share)", mem, line);
+    mem.store(0, line, now += 1000);
+    snapshotRow(table, "store c0 (upgrade M)", mem, line);
+    mem.load(remote, line,  now += 1000);
+    snapshotRow(table,
+                "load c" + std::to_string(remote) + " (remote)",
+                mem, line);
+    mem.flush(0, line, now += 1000);
+    snapshotRow(table, "flush c0", mem, line);
+    mem.load(0, line, now += 1000);
+    snapshotRow(table, "reload c0", mem, line);
+    table.print(std::cout);
+
+    const std::string bad = mem.checkInvariants();
+    if (!bad.empty()) {
+        std::cerr << "invariant violation: " << bad << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 void
 usage()
 {
@@ -605,6 +687,8 @@ usage()
            "  sweep      run the experiment grid of a sweep spec\n"
            "  ecc        parity + NACK retransmission session\n"
            "  symbols    2-bit-symbol channel\n"
+           "  inspect    follow one line's LineSnapshot through the "
+           "protocol\n"
            "  trace      tracing subsystem: list event categories\n\n"
            "every experiment subcommand accepts --preset NAME, "
            "--config FILE,\n"
@@ -628,7 +712,7 @@ main(int argc, char **argv)
         const Args args(
             argc, argv, 2,
             {"preset", "config", "dump-config", "trace", "counters",
-             "samples", "jobs"},
+             "samples", "jobs", "line"},
             {"list-categories", "fields"});
         if (cmd == "info")
             return cmdInfo(args);
@@ -642,6 +726,8 @@ main(int argc, char **argv)
             return cmdEcc(args);
         if (cmd == "symbols")
             return cmdSymbols(args);
+        if (cmd == "inspect")
+            return cmdInspect(args);
         if (cmd == "trace")
             return cmdTrace(args);
     } catch (const ConfigError &e) {
