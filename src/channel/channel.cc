@@ -73,12 +73,15 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
                              int n_remote, Combo csc)
     : machine(cfg.system), plan(CorePlan::standard(cfg.system))
 {
-    // Subscribe the caller's recorder before anything else touches
-    // memory, so the capture includes share establishment (KSM scans,
-    // COW splits, the ch.share_established milestone).
+    // Subscribe the caller's recorder and taps before anything else
+    // touches memory, so the captures include share establishment
+    // (KSM scans, COW splits, the ch.share_established milestone).
     recorder_ = cfg.recorder;
     if (recorder_)
         recorder_->attach(machine.mem.trace(), cfg.system.numCores());
+    taps_ = cfg.taps;
+    for (BusTap *tap : taps_)
+        tap->attach(machine.mem.trace(), cfg.system.numCores());
     trojanProc = &machine.kernel.createProcess("trojan");
     spyProc = &machine.kernel.createProcess("spy");
     shared = establishSharedBlock(machine, *trojanProc, *spyProc,
@@ -144,6 +147,8 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
 
 ExperimentRig::~ExperimentRig()
 {
+    for (BusTap *tap : taps_)
+        tap->detach();
     if (recorder_)
         recorder_->detach();
 }
@@ -175,6 +180,19 @@ runCovertTransmission(const ChannelConfig &cfg_in,
     report.sent = payload;
     report.shared = rig.shared;
 
+    // Retry-cost plumbing: count NACK/retransmit milestones off the
+    // bus into the metrics. The handler only ever fires during
+    // sched.runUntilFinished below, so capturing locals is safe.
+    std::uint64_t nacks = 0, retransmits = 0;
+    rig.machine.mem.trace().subscribe(
+        categoryBit(TraceCategory::channel),
+        [&nacks, &retransmits](const TraceEvent &ev) {
+            if (ev.type == TraceEventType::chNack)
+                ++nacks;
+            else if (ev.type == TraceEventType::chRetransmit)
+                ++retransmits;
+        });
+
     rig.machine.kernel.spawnThread(
         rig.machine.sched, "trojan.ctl", rig.plan.controller,
         *rig.trojanProc, [&](ThreadApi api) {
@@ -200,6 +218,8 @@ runCovertTransmission(const ChannelConfig &cfg_in,
         report.trojan.txEnd ? report.trojan.txEnd
                             : rig.machine.sched.now(),
         cfg.system.timing);
+    report.metrics.nacks = nacks;
+    report.metrics.retransmits = retransmits;
     report.counters = collectCounters(rig.machine, cfg.recorder);
     return report;
 }

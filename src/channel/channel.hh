@@ -26,6 +26,7 @@
 #include "mem/params.hh"
 #include "trace/counters.hh"
 #include "trace/recorder.hh"
+#include "trace/tap.hh"
 
 namespace csim
 {
@@ -70,6 +71,13 @@ struct ChannelConfig
      * The recorder outlives the rig; drain it after the run.
      */
     TraceRecorder *recorder = nullptr;
+    /**
+     * Additional bus subscribers (run-health monitors, test probes)
+     * attached exactly like the recorder: before share
+     * establishment, detached when the rig dies. The taps outlive
+     * the rig and keep their accumulated state.
+     */
+    std::vector<BusTap *> taps;
     /** Safety stop, in cycles (~300 ms of simulated time). */
     Tick timeout = 800'000'000ULL;
 
@@ -154,9 +162,9 @@ class ExperimentRig
                   Combo csc = Combo::localShared);
 
     /**
-     * Detaches the config's recorder (if any) from the machine's
-     * trace bus, which dies with the rig; the recorder's captured
-     * events stay drainable afterwards.
+     * Detaches the config's recorder and taps (if any) from the
+     * machine's trace bus, which dies with the rig; their captured
+     * state stays readable afterwards.
      */
     ~ExperimentRig();
 
@@ -172,6 +180,7 @@ class ExperimentRig
 
   private:
     TraceRecorder *recorder_ = nullptr;
+    std::vector<BusTap *> taps_;
 };
 
 } // namespace csim

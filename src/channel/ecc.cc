@@ -114,6 +114,7 @@ eccTrojanBody(ThreadApi api, PlacerCrew &crew, VAddr block,
             }
             const bool nack = cached >= ecc.nackThreshold;
             if (nack) {
+                ++report.nacks;
                 chEvent(api, TraceEventType::chNack,
                         static_cast<std::uint64_t>(attempts + 1));
             }
@@ -126,6 +127,8 @@ eccTrojanBody(ThreadApi api, PlacerCrew &crew, VAddr block,
             chEvent(api, TraceEventType::chRetransmit,
                     report.rawBitsSent / packetTotalBits);
             if (++attempts > ecc.maxRetries) {
+                chEvent(api, TraceEventType::chRetransmitExhausted,
+                        static_cast<std::uint64_t>(attempts - 1));
                 warn("ecc: giving up on a packet after ",
                      ecc.maxRetries, " retries");
                 break;
@@ -186,10 +189,17 @@ eccSpyBody(ThreadApi api, VAddr block, const ScenarioInfo &scenario,
                 classifySample(static_cast<double>(lat), tc, tb);
             if (auto bit = translator.feed(cls))
                 bits.push_back(static_cast<std::uint8_t>(*bit));
-            if (cls == SampleClass::outOfBand)
+            if (cls == SampleClass::outOfBand) {
                 ++out_of_band;
-            else
+            } else {
+                // Slip reported at recovery, as in spyBody, so the
+                // end-of-packet marker run never counts as one.
+                if (out_of_band > 0) {
+                    chEvent(api, TraceEventType::chSyncSlip,
+                            static_cast<std::uint64_t>(out_of_band));
+                }
                 out_of_band = 0;
+            }
         }
         if (auto bit = translator.finish())
             bits.push_back(static_cast<std::uint8_t>(*bit));

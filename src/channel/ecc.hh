@@ -70,6 +70,8 @@ struct EccReport
     int packets = 0;
     /** Packet retransmissions the spy's NACKs triggered. */
     int retransmissions = 0;
+    /** NACK windows the trojan observed (>= retransmissions). */
+    std::uint64_t nacks = 0;
     /** Raw bits that crossed the channel (incl. retransmissions). */
     std::uint64_t rawBitsSent = 0;
     /** What the spy reassembled (truncated to payloadBits). */

@@ -34,6 +34,17 @@ struct ChannelMetrics
      * garbled) bits is not credited with the transmit-side rate.
      */
     double effectiveKbps = 0.0;
+    /**
+     * @name Retry cost (paper Fig. 10)
+     * NACKs the transmitter observed and packet retransmissions it
+     * issued, counted off the channel trace events so effectiveKbps
+     * can be read against the retry overhead. Zero for the
+     * plain/symbol channels, which never retransmit.
+     */
+    /** @{ */
+    std::uint64_t nacks = 0;
+    std::uint64_t retransmits = 0;
+    /** @} */
 };
 
 /** Compute metrics for a completed transmission. */

@@ -161,6 +161,14 @@ spyBody(ThreadApi api, VAddr block, const ScenarioInfo &scenario,
             if (++out_of_band >= params.endN)
                 break;
         } else {
+            // Recovered into a band after a run of unclassifiable
+            // samples: report the slip length. Published at recovery
+            // (not per sample) so the end-of-reception marker run,
+            // which never recovers, is not miscounted as a slip.
+            if (out_of_band > 0) {
+                chEvent(api, TraceEventType::chSyncSlip,
+                        static_cast<std::uint64_t>(out_of_band));
+            }
             out_of_band = 0;
         }
     }

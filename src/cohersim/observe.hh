@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Observability layer facade: run-health telemetry over the trace
+ * bus.
+ *
+ * The log-bucketed latency histograms, the windowed event
+ * timeseries, the error-attribution engine and the health-report
+ * renderers, plus the trace-side pieces they build on (the BusTap
+ * seam and the Perfetto reader for offline analysis). Sits above the
+ * attack layer — the monitor consumes calibration bands and channel
+ * events — and below the harness, which merges per-point RunHealth
+ * records across a sweep.
+ */
+
+#ifndef COHERSIM_COHERSIM_OBSERVE_HH
+#define COHERSIM_COHERSIM_OBSERVE_HH
+
+// Trace-side plumbing the observability layer rides on.
+#include "trace/perfetto.hh"
+#include "trace/tap.hh"
+
+// Run-health telemetry.
+#include "obs/attribution.hh"
+#include "obs/health.hh"
+#include "obs/histogram.hh"
+#include "obs/obs_config.hh"
+#include "obs/report.hh"
+#include "obs/timeseries.hh"
+
+#endif // COHERSIM_COHERSIM_OBSERVE_HH

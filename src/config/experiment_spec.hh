@@ -26,6 +26,7 @@
 
 #include "channel/channel.hh"
 #include "common/bit_string.hh"
+#include "obs/obs_config.hh"
 
 namespace csim
 {
@@ -91,6 +92,8 @@ struct ExperimentSpec
     double timeoutMargin = 0.0;
     PayloadSpec payload;
     SweepSpec sweep;
+    /** Run-health observability knobs (`cohersim report`). */
+    ObsConfig obs;
 
     /** Number of payload bits this spec transmits. */
     std::size_t payloadBits() const;

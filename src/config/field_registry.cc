@@ -725,6 +725,23 @@ FieldRegistry::FieldRegistry()
     add(makeText("sweep.noise_levels",
                  "noise axis: CSV of thread counts",
                  ACCESS_TEXT(s.sweep.noiseLevels)));
+
+    // --- run-health observability (cohersim report) ----------------------
+    add(makeNumeric("obs.window_cycles", Type::integer, 1000, big,
+                    "telemetry aggregation window, virtual cycles",
+                    ACCESS_INT(s.obs.windowCycles), {"window"}));
+    add(makeNumeric("obs.hist_sub_bits", Type::integer, 0, 16,
+                    "latency histogram sub-bucket bits (precision "
+                    "per power of two)",
+                    ACCESS_INT(s.obs.histSubBits)));
+    add(makeNumeric("obs.band_core", Type::integer, -1, 4096,
+                    "core whose loads feed the latency bands "
+                    "(-1: all cores)",
+                    ACCESS_INT(s.obs.bandCore)));
+    add(makeNumeric("obs.drift_warn_fraction", Type::real, 0, 1,
+                    "flag a band when more than this fraction of "
+                    "its samples fall outside the calibrated range",
+                    ACCESS_REAL(s.obs.driftWarnFraction)));
 }
 
 #undef ACCESS_INT

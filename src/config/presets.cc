@@ -101,6 +101,14 @@ buildPresets()
           {"sweep.noise_levels", "0,1,2,4,6,8"},
           {"payload.bits", "300"},
           {"channel.timeout_margin", "20"}}});
+    presets.push_back(
+        {"health-quick",
+         "small health-report grid: all scenarios, quiet + noisy",
+         {{"sweep.scenarios", "all"},
+          {"channel.rate_kbps", "500"},
+          {"sweep.noise_levels", "0,6"},
+          {"payload.bits", "120"},
+          {"channel.timeout_margin", "20"}}});
 
     return presets;
 }

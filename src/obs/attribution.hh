@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Error attribution: charge every decode error of a transmission to
+ * the disturbance that most plausibly caused it.
+ *
+ * The sent and received bit streams (with their virtual timestamps,
+ * from the ch.tx_bit / ch.rx_bit trace events) are aligned with the
+ * same unit-cost edit distance the accuracy metric uses, so the
+ * number of attributed errors is exactly the run's edit-distance
+ * error count. Each alignment error carries a virtual time; the
+ * engine then looks for cause evidence — a retransmit giving up, a
+ * back-invalidation of the shared line, a sync slip or KSM/COW churn
+ * — within a correlation radius of that time and emits an error
+ * budget: so-many bits lost to noise evictions, so-many to sync
+ * slips, the rest unattributed.
+ */
+
+#ifndef COHERSIM_OBS_ATTRIBUTION_HH
+#define COHERSIM_OBS_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace csim
+{
+
+class Json;
+
+/** Why a decode error happened, most to least specific. */
+enum class ErrorCause : std::uint8_t
+{
+    /** The retransmission protocol gave up on a packet. */
+    retransmitExhausted,
+    /** The shared line was back-invalidated under the receiver. */
+    noiseEviction,
+    /** The spy lost the sample clock (out-of-band run, KSM/COW). */
+    syncSlip,
+    /** No cause evidence within the correlation radius. */
+    unattributed,
+    numCauses,
+};
+
+inline constexpr int numErrorCauses =
+    static_cast<int>(ErrorCause::numCauses);
+
+const char *errorCauseName(ErrorCause c);
+
+/** One timestamped piece of cause evidence from the trace. */
+struct CauseEvent
+{
+    Tick when = 0;
+    ErrorCause cause = ErrorCause::unattributed;
+};
+
+/** One timestamped bit observation (ch.tx_bit / ch.rx_bit). */
+struct BitObs
+{
+    Tick when = 0;
+    std::uint8_t bit = 0;
+};
+
+/** One attributed decode error. */
+struct AttributedError
+{
+    Tick when = 0;           //!< virtual time of the error
+    ErrorCause cause = ErrorCause::unattributed;
+};
+
+/** Errors per cause; sums to the run's total bit errors. */
+struct ErrorBudget
+{
+    std::array<std::uint64_t, numErrorCauses> counts{};
+
+    std::uint64_t &
+    operator[](ErrorCause c)
+    {
+        return counts[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t
+    count(ErrorCause c) const
+    {
+        return counts[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t total() const;
+    void merge(const ErrorBudget &other);
+
+    /** {"total": N, "<cause>": n, ...} in cause order. */
+    Json toJson() const;
+};
+
+/**
+ * Align @p sent against @p received (unit-cost edit distance) and
+ * attribute every alignment error to the nearest cause evidence
+ * within @p radius cycles. Substituted and inserted bits error at
+ * the receive time, deleted bits at the transmit time. @p causes
+ * must be sorted by time. The returned errors are in alignment
+ * order; their count equals editDistance(sent bits, received bits).
+ */
+std::vector<AttributedError>
+attributeErrors(const std::vector<BitObs> &sent,
+                const std::vector<BitObs> &received,
+                const std::vector<CauseEvent> &causes, Tick radius);
+
+/** Fold a list of attributed errors into a budget. */
+ErrorBudget budgetOf(const std::vector<AttributedError> &errors);
+
+} // namespace csim
+
+#endif // COHERSIM_OBS_ATTRIBUTION_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tunables of the run-health observability layer (src/obs).
+ *
+ * Kept dependency-free so the config layer can embed it in the
+ * ExperimentSpec (as the `obs.*` registry fields) without the obs
+ * layer ever including config headers — obs sits above trace and
+ * below config in the layering.
+ */
+
+#ifndef COHERSIM_OBS_OBS_CONFIG_HH
+#define COHERSIM_OBS_OBS_CONFIG_HH
+
+#include <cstdint>
+
+namespace csim
+{
+
+/** Run-health monitor configuration (`obs.*` config fields). */
+struct ObsConfig
+{
+    /**
+     * Timeseries window length in virtual cycles. A few hundred bits
+     * at the paper's ~500 Kbps rates span a handful of millions of
+     * cycles, so 250k-cycle windows resolve a transmission into
+     * enough rows to localize a disturbance without drowning the
+     * report.
+     */
+    std::uint64_t windowCycles = 250'000;
+    /**
+     * Histogram resolution: linear sub-buckets per power-of-two
+     * latency range, as a bit count (5 -> 32 sub-buckets, ~3%
+     * relative error). Purely integer bucketing keeps histograms
+     * bit-identical across platforms.
+     */
+    int histSubBits = 5;
+    /**
+     * Core whose load latencies feed the per-band histograms; -1
+     * records every core. The default 0 is the spy's core
+     * (CorePlan::standard), whose timed reloads are the
+     * measurements the Fig. 2 bands are about.
+     */
+    int bandCore = 0;
+    /**
+     * Band-drift warning threshold: flag a band when more than this
+     * fraction of its samples fall outside the calibrated interval.
+     */
+    double driftWarnFraction = 0.05;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_OBS_OBS_CONFIG_HH

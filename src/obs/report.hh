@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Health-report rendering: the RunHealth record as a JSON document
+ * (machine-readable timeseries next to the BENCH_*.json artifacts),
+ * a CSV table and a human-readable markdown/terminal report —
+ * everything `cohersim report` prints or writes.
+ *
+ * All derived statistics (band separation, drift fractions, budget
+ * shares) are computed here from the merged integer aggregates, so
+ * the rendered output is bit-identical whenever the RunHealth is —
+ * the property the --jobs-split tests and the golden gate pin.
+ */
+
+#ifndef COHERSIM_OBS_REPORT_HH
+#define COHERSIM_OBS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/health.hh"
+#include "runner/json_sink.hh"
+
+namespace csim
+{
+
+/** Derived band-separation statistics of one latency band. */
+struct BandAssessment
+{
+    std::string name;
+    std::uint64_t samples = 0;
+    double mean = 0.0;
+    std::uint64_t p5 = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    /** Calibrated reference interval, when available. */
+    bool hasBand = false;
+    double bandLo = 0.0;
+    double bandHi = 0.0;
+    /** Fraction of samples outside the calibrated band. */
+    double outsideFraction = 0.0;
+    /**
+     * Distance between this band's observed [p5, p95] interval and
+     * the nearest other band's, in cycles; negative = the intervals
+     * overlap by that much. The separation statistic the Fig. 2
+     * premise needs to stay positive.
+     */
+    bool hasSeparation = false;
+    double separation = 0.0;
+    std::string nearest;
+    /** Observed [p5, p95] overlaps another band's. */
+    bool overlap = false;
+    /** outsideFraction exceeded obs.drift_warn_fraction. */
+    bool drifted = false;
+};
+
+/** Band statistics for every slot with samples, in slot order. */
+std::vector<BandAssessment> assessBands(const RunHealth &health);
+
+/** The complete machine-readable report document. */
+Json healthJson(const RunHealth &health);
+
+/** The timeseries as CSV (header + one row per window). */
+std::string healthCsv(const RunHealth &health);
+
+/** Render the human-readable markdown/terminal report. */
+void renderHealthReport(std::ostream &os, const RunHealth &health);
+
+} // namespace csim
+
+#endif // COHERSIM_OBS_REPORT_HH

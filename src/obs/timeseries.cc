@@ -1,0 +1,109 @@
+#include "obs/timeseries.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "runner/json_sink.hh"
+
+namespace csim
+{
+
+const std::vector<WindowField> &
+windowFields()
+{
+    static const std::vector<WindowField> fields = {
+        {"tx_bits", &WindowCounters::txBits},
+        {"rx_bits", &WindowCounters::rxBits},
+        {"bit_errors", &WindowCounters::bitErrors},
+        {"nacks", &WindowCounters::nacks},
+        {"retransmits", &WindowCounters::retransmits},
+        {"retransmits_exhausted",
+         &WindowCounters::retransmitsExhausted},
+        {"sync_slips", &WindowCounters::syncSlips},
+        {"noise_evictions", &WindowCounters::noiseEvictions},
+        {"ksm_merges", &WindowCounters::ksmMerges},
+        {"ksm_unmerges", &WindowCounters::ksmUnmerges},
+        {"cow_faults", &WindowCounters::cowFaults},
+        {"loads", &WindowCounters::loads},
+    };
+    return fields;
+}
+
+WindowedTimeseries::WindowedTimeseries(std::uint64_t window_cycles)
+    : windowCycles_(window_cycles)
+{
+    fatal_if(window_cycles == 0, "window size must be positive");
+}
+
+WindowCounters &
+WindowedTimeseries::at(Tick when)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(when / windowCycles_);
+    if (idx >= windows_.size())
+        windows_.resize(idx + 1);
+    return windows_[idx];
+}
+
+void
+WindowedTimeseries::merge(const WindowedTimeseries &other)
+{
+    fatal_if(windowCycles_ != other.windowCycles_,
+             "merging timeseries with different window sizes (",
+             windowCycles_, " vs ", other.windowCycles_, ")");
+    if (other.windows_.size() > windows_.size())
+        windows_.resize(other.windows_.size());
+    for (std::size_t i = 0; i < other.windows_.size(); ++i) {
+        for (const WindowField &f : windowFields())
+            windows_[i].*f.member += other.windows_[i].*f.member;
+    }
+}
+
+WindowCounters
+WindowedTimeseries::totals() const
+{
+    WindowCounters sum;
+    for (const WindowCounters &w : windows_) {
+        for (const WindowField &f : windowFields())
+            sum.*f.member += w.*f.member;
+    }
+    return sum;
+}
+
+Json
+WindowedTimeseries::toJson() const
+{
+    Json root = Json::object();
+    root["window_cycles"] = windowCycles_;
+    Json list = Json::array();
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+        Json row = Json::object();
+        row["window"] = static_cast<std::uint64_t>(i);
+        row["start_cycle"] =
+            static_cast<std::uint64_t>(i) * windowCycles_;
+        for (const WindowField &f : windowFields())
+            row[f.name] = windows_[i].*f.member;
+        list.push(std::move(row));
+    }
+    root["windows"] = std::move(list);
+    return root;
+}
+
+std::string
+WindowedTimeseries::toCsv() const
+{
+    std::ostringstream os;
+    os << "window,start_cycle";
+    for (const WindowField &f : windowFields())
+        os << ',' << f.name;
+    os << '\n';
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+        os << i << ',' << i * windowCycles_;
+        for (const WindowField &f : windowFields())
+            os << ',' << windows_[i].*f.member;
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace csim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Windowed event timeseries: the trace stream folded into fixed
+ * windows of virtual time.
+ *
+ * Each window counts the channel activity (bits on the wire,
+ * NACKs/retransmits, sync slips) next to the disturbances that break
+ * it (noise evictions of the shared line, KSM merge/unmerge churn,
+ * COW faults), so "accuracy dropped" becomes "accuracy dropped in
+ * windows 14-17, where the noise eviction rate spiked". Windows are
+ * indexed by virtual time, so the per-point series of a sweep merge
+ * window-by-window in submission order — bit-identical totals at any
+ * host --jobs split, same contract as CounterRegistry.
+ */
+
+#ifndef COHERSIM_OBS_TIMESERIES_HH
+#define COHERSIM_OBS_TIMESERIES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace csim
+{
+
+class Json;
+
+/** Event totals of one virtual-time window. */
+struct WindowCounters
+{
+    std::uint64_t txBits = 0;
+    std::uint64_t rxBits = 0;
+    /** Decode errors the attribution engine placed in this window. */
+    std::uint64_t bitErrors = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t retransmitsExhausted = 0;
+    /** Out-of-band runs the spy recovered from mid-reception. */
+    std::uint64_t syncSlips = 0;
+    /** Back-invalidations of the adversaries' shared page. */
+    std::uint64_t noiseEvictions = 0;
+    std::uint64_t ksmMerges = 0;
+    std::uint64_t ksmUnmerges = 0;
+    std::uint64_t cowFaults = 0;
+    /**
+     * Loads that missed the private caches, machine-wide — the
+     * mem.load event stream (L1/L2 hits publish no event), so this
+     * sums exactly to mem.loads - mem.l1_hits - mem.l2_hits.
+     */
+    std::uint64_t loads = 0;
+};
+
+/** Name + member accessor for one WindowCounters field. */
+struct WindowField
+{
+    const char *name;
+    std::uint64_t WindowCounters::*member;
+};
+
+/** Every WindowCounters field, in export column order. */
+const std::vector<WindowField> &windowFields();
+
+/** A growable sequence of fixed-size virtual-time windows. */
+class WindowedTimeseries
+{
+  public:
+    explicit WindowedTimeseries(std::uint64_t window_cycles);
+
+    /** The window containing virtual time @p when (grows the series). */
+    WindowCounters &at(Tick when);
+
+    /** Window-wise sum; both series must share the window size. */
+    void merge(const WindowedTimeseries &other);
+
+    std::uint64_t windowCycles() const { return windowCycles_; }
+    const std::vector<WindowCounters> &windows() const
+    {
+        return windows_;
+    }
+
+    /** Field-wise sum over every window. */
+    WindowCounters totals() const;
+
+    /**
+     * JSON export: {"window_cycles": N, "windows": [{"window": i,
+     * "start_cycle": i*N, <field>: ...}, ...]}. All-zero windows are
+     * kept so the series plots without gaps.
+     */
+    Json toJson() const;
+
+    /** CSV export (header + one row per window). */
+    std::string toCsv() const;
+
+  private:
+    std::uint64_t windowCycles_;
+    std::vector<WindowCounters> windows_;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_OBS_TIMESERIES_HH

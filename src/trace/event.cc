@@ -69,9 +69,24 @@ traceTypeName(TraceEventType t)
         return "ch.packet_accepted";
       case TraceEventType::chShareEstablished:
         return "ch.share_established";
+      case TraceEventType::chSyncSlip: return "ch.sync_slip";
+      case TraceEventType::chRetransmitExhausted:
+        return "ch.retransmit_exhausted";
       case TraceEventType::numTypes: break;
     }
     return "?";
+}
+
+TraceEventType
+traceTypeFromName(const char *name)
+{
+    for (int i = 0; i < static_cast<int>(TraceEventType::numTypes);
+         ++i) {
+        const auto t = static_cast<TraceEventType>(i);
+        if (std::strcmp(name, traceTypeName(t)) == 0)
+            return t;
+    }
+    return TraceEventType::numTypes;
 }
 
 TraceCategory

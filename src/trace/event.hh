@@ -114,12 +114,21 @@ enum class TraceEventType : std::uint8_t
     chRetransmit,      //!< a = packet sequence number
     chPacketAccepted,  //!< a = packet sequence number
     chShareEstablished,  //!< addr = shared line, a = attempts, b = ksm
+    chSyncSlip,          //!< a = consecutive out-of-band samples
+    chRetransmitExhausted,  //!< a = retries spent on the packet
     /** @} */
     numTypes,
 };
 
 /** Printable name of an event type ("mem.load", "ksm.merge", ...). */
 const char *traceTypeName(TraceEventType t);
+
+/**
+ * Parse an event-type name; @return numTypes when unknown. Accepts
+ * the names printed by traceTypeName(); lets saved traces (Perfetto
+ * JSON) round-trip back into typed events.
+ */
+TraceEventType traceTypeFromName(const char *name);
 
 /** The category an event type belongs to. */
 TraceCategory traceTypeCategory(TraceEventType t);

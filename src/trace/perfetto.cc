@@ -1,6 +1,7 @@
 #include "trace/perfetto.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -34,7 +35,7 @@ metadataEvent(int pid, int tid, const char *what, std::string name)
 
 Json
 perfettoTraceJson(const std::vector<TraceEvent> &events,
-                  const SystemConfig &config)
+                  const SystemConfig &config, std::uint64_t dropped)
 {
     Json root = Json::object();
     Json list = Json::array();
@@ -86,15 +87,68 @@ perfettoTraceJson(const std::vector<TraceEvent> &events,
 
     root["traceEvents"] = std::move(list);
     root["displayTimeUnit"] = "ns";
+    if (dropped > 0) {
+        Json other = Json::object();
+        other["trace_dropped"] = dropped;
+        root["otherData"] = std::move(other);
+    }
     return root;
 }
 
 void
 writePerfettoTrace(const std::string &path,
                    const std::vector<TraceEvent> &events,
-                   const SystemConfig &config)
+                   const SystemConfig &config, std::uint64_t dropped)
 {
-    writeJsonFile(path, perfettoTraceJson(events, config));
+    writeJsonFile(path, perfettoTraceJson(events, config, dropped));
+}
+
+std::vector<TraceEvent>
+readPerfettoTrace(const std::string &path)
+{
+    const Json root = readJsonFile(path);
+    const Json *list = root.find("traceEvents");
+    fatal_if(!list || !list->isArray(),
+             path, " is not a trace-event JSON document");
+    std::vector<TraceEvent> events;
+    for (const Json &item : list->items()) {
+        const Json *ph = item.find("ph");
+        if (!ph || !ph->isString() || ph->asString() != "i")
+            continue;  // metadata / non-instant records
+        const Json *name = item.find("name");
+        if (!name || !name->isString())
+            continue;
+        const TraceEventType type =
+            traceTypeFromName(name->asString().c_str());
+        if (type == TraceEventType::numTypes)
+            continue;  // written by a newer/older vocabulary
+        const Json *args = item.find("args");
+        if (!args || !args->isObject())
+            continue;
+        TraceEvent ev;
+        ev.type = type;
+        ev.category = traceTypeCategory(type);
+        if (const Json *cycles = args->find("cycles"))
+            ev.when = static_cast<Tick>(cycles->asInt());
+        if (const Json *addr = args->find("addr")) {
+            if (addr->isString()) {
+                ev.addr = static_cast<PAddr>(std::strtoull(
+                    addr->asString().c_str(), nullptr, 0));
+            }
+        }
+        if (const Json *a = args->find("a"))
+            ev.a = static_cast<std::uint64_t>(a->asInt());
+        if (const Json *b = args->find("b"))
+            ev.b = static_cast<std::uint64_t>(b->asInt());
+        // Coreless events were filed under the kernel pseudo-process
+        // with tid 0; per-core events carry tid = core + 1.
+        const Json *tid = item.find("tid");
+        ev.core = (tid && tid->asInt() > 0)
+                      ? static_cast<CoreId>(tid->asInt() - 1)
+                      : invalidCore;
+        events.push_back(ev);
+    }
+    return events;
 }
 
 } // namespace csim

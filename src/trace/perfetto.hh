@@ -26,15 +26,30 @@ namespace csim
 /**
  * Build the full trace-event JSON document for @p events.
  * @p config supplies the clock (for the cycle->µs mapping) and the
- * socket topology (for process/thread grouping).
+ * socket topology (for process/thread grouping). A nonzero
+ * @p dropped (events the recorder's rings rejected) is recorded in
+ * the document's otherData block so a lossy capture is flagged in
+ * the file itself, not just on stderr.
  */
 Json perfettoTraceJson(const std::vector<TraceEvent> &events,
-                       const SystemConfig &config);
+                       const SystemConfig &config,
+                       std::uint64_t dropped = 0);
 
 /** Serialize perfettoTraceJson() to @p path. fatal()s on IO errors. */
 void writePerfettoTrace(const std::string &path,
                         const std::vector<TraceEvent> &events,
-                        const SystemConfig &config);
+                        const SystemConfig &config,
+                        std::uint64_t dropped = 0);
+
+/**
+ * Load a trace written by writePerfettoTrace() back into typed
+ * events, reversing the socket/core <-> pid/tid mapping and reading
+ * the exact virtual timestamps from the args.cycles field (the µs
+ * "ts" is lossy). Metadata events and event names that are not part
+ * of the vocabulary are skipped. fatal()s when the file is
+ * unreadable or not a trace-event document.
+ */
+std::vector<TraceEvent> readPerfettoTrace(const std::string &path);
 
 } // namespace csim
 

@@ -20,12 +20,13 @@
 #include "trace/bus.hh"
 #include "trace/event.hh"
 #include "trace/ring.hh"
+#include "trace/tap.hh"
 
 namespace csim
 {
 
 /** Captures bus events into bounded rings. */
-class TraceRecorder
+class TraceRecorder : public BusTap
 {
   public:
     struct Options
@@ -38,7 +39,7 @@ class TraceRecorder
 
     TraceRecorder();
     explicit TraceRecorder(Options opts);
-    ~TraceRecorder();
+    ~TraceRecorder() override;
 
     TraceRecorder(const TraceRecorder &) = delete;
     TraceRecorder &operator=(const TraceRecorder &) = delete;
@@ -47,10 +48,10 @@ class TraceRecorder
      * Subscribe to @p bus, recording events from @p num_cores cores.
      * Detaches from any previously attached bus first.
      */
-    void attach(TraceBus &bus, int num_cores);
+    void attach(TraceBus &bus, int num_cores) override;
 
     /** Unsubscribe; captured events stay drainable. */
-    void detach();
+    void detach() override;
 
     /** Whether currently subscribed to a bus. */
     bool attached() const { return bus_ != nullptr; }

@@ -46,6 +46,35 @@ status=0
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 
+# Refresh or diff every file a run left in its scratch directory.
+settle() {
+    local name="$1" out="$2"
+    if [ "$refresh" -eq 1 ]; then
+        mkdir -p "$golden_dir/$name"
+        for f in "$out"/*; do
+            normalize "$f" > "$golden_dir/$name/$(basename "$f")"
+        done
+        echo "check_golden: refreshed $name"
+        return
+    fi
+    for f in "$out"/*; do
+        local base gold
+        base="$(basename "$f")"
+        gold="$golden_dir/$name/$base"
+        if [ ! -f "$gold" ]; then
+            echo "check_golden: missing golden $name/$base" >&2
+            status=1
+            continue
+        fi
+        if ! diff -u "$gold" <(normalize "$f") \
+            > "$scratch/diff.txt" 2>&1; then
+            echo "check_golden: $name/$base DIFFERS from golden:" >&2
+            cat "$scratch/diff.txt" >&2
+            status=1
+        fi
+    done
+}
+
 for bench in $BENCHES; do
     out="$scratch/$bench"
     mkdir -p "$out"
@@ -60,30 +89,23 @@ for bench in $BENCHES; do
         continue
     fi
     mv "$out/stdout.raw" "$out/stdout.txt"
-    if [ "$refresh" -eq 1 ]; then
-        mkdir -p "$golden_dir/$bench"
-        for f in "$out"/*; do
-            normalize "$f" > "$golden_dir/$bench/$(basename "$f")"
-        done
-        echo "check_golden: refreshed $bench"
-        continue
-    fi
-    for f in "$out"/*; do
-        name="$(basename "$f")"
-        gold="$golden_dir/$bench/$name"
-        if [ ! -f "$gold" ]; then
-            echo "check_golden: missing golden $bench/$name" >&2
-            status=1
-            continue
-        fi
-        if ! diff -u "$gold" <(normalize "$f") \
-            > "$scratch/diff.txt" 2>&1; then
-            echo "check_golden: $bench/$name DIFFERS from golden:" >&2
-            cat "$scratch/diff.txt" >&2
-            status=1
-        fi
-    done
+    settle "$bench" "$out"
 done
+
+# The CLI's run-health report is seeded and deterministic too: pin
+# both the rendered report and the JSON timeseries document.
+cli="$bench_dir/../tools/cohersim"
+out="$scratch/report_health"
+mkdir -p "$out"
+(cd "$out" && "$cli" report --preset health-quick --jobs 1 \
+    --json REPORT_health.json > stdout.raw 2>&1)
+if [ $? -ne 0 ]; then
+    echo "check_golden: report_health FAILED to run" >&2
+    status=1
+else
+    mv "$out/stdout.raw" "$out/stdout.txt"
+    settle report_health "$out"
+fi
 
 if [ "$refresh" -eq 1 ]; then
     echo "check_golden: goldens written to $golden_dir"

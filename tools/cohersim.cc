@@ -10,6 +10,8 @@
  *   ecc        run an error-corrected (parity + NACK) session
  *   symbols    run the 2-bit-symbol channel
  *   trace      describe the tracing subsystem's event vocabulary
+ *   report     run-health report: band separation, error budget,
+ *              windowed telemetry (live run or saved trace)
  *
  * Every experiment subcommand resolves one declarative
  * `ExperimentSpec` through layers of increasing precedence:
@@ -26,6 +28,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <initializer_list>
 #include <iostream>
 #include <map>
@@ -36,6 +39,7 @@
 
 #include "cohersim/attack.hh"
 #include "cohersim/harness.hh"
+#include "cohersim/observe.hh"
 
 namespace
 {
@@ -344,12 +348,19 @@ cmdTransmit(const Args &args)
     const ChannelReport rep = runCovertTransmission(cfg, payload);
     if (!trace_path.empty()) {
         const std::vector<TraceEvent> events = recorder.drain();
-        writePerfettoTrace(trace_path, events, cfg.system);
+        writePerfettoTrace(trace_path, events, cfg.system,
+                           recorder.dropped());
         const TraceQuery query(events);
         std::cout << "trace:     " << events.size() << " events ("
                   << query.categoriesPresent() << " categories, "
                   << recorder.dropped() << " dropped) -> "
                   << trace_path << "\n";
+        if (recorder.dropped() > 0) {
+            warn("trace is lossy: ", recorder.dropped(),
+                 " events overflowed the recorder ring; counts "
+                 "derived from ", trace_path, " undercount (the "
+                 "drop total is recorded in its metadata)");
+        }
     }
     if (!counters_path.empty())
         writeCounters(counters_path, rep.counters);
@@ -674,6 +685,113 @@ cmdInspect(const Args &args)
     return 0;
 }
 
+/** Write the report's side artifacts (--json / --csv). */
+void
+emitHealthArtifacts(const RunHealth &health,
+                    const std::string &json_path,
+                    const std::string &csv_path)
+{
+    if (!json_path.empty()) {
+        writeJsonFile(json_path, healthJson(health));
+        std::cout << "json:      health report -> " << json_path
+                  << "\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        out << healthCsv(health);
+        fatal_if(!out.good(), "cannot write ", csv_path);
+        std::cout << "csv:       windowed timeseries -> " << csv_path
+                  << "\n";
+    }
+}
+
+int
+cmdReport(const Args &args)
+{
+    if (args.help) {
+        std::cout
+            << "cohersim report [--jobs N] [--json FILE] "
+               "[--csv FILE] [--trace FILE]\n"
+            << kCommonHelp
+            << "  runs the resolved experiment grid with the "
+               "run-health monitor attached and\n"
+               "  prints band separation, the decode-error budget "
+               "and the windowed timeseries;\n"
+               "  tune the telemetry with the obs.* fields "
+               "(`cohersim info --fields`)\n"
+               "  --trace FILE  analyze a saved Perfetto capture "
+               "instead of running\n"
+               "  --json FILE   write the machine-readable report "
+               "document\n"
+               "  --csv FILE    write the windowed timeseries as "
+               "CSV\n"
+               "  --jobs N      worker threads; the report is "
+               "bit-identical for any N\n";
+        return 0;
+    }
+    const std::string trace_path = args.str("trace", "");
+    const std::string json_path = args.str("json", "");
+    const std::string csv_path = args.str("csv", "");
+
+    if (!trace_path.empty()) {
+        // Offline: replay a saved capture through the monitor. No
+        // calibration is recorded in a trace, so drift columns and
+        // band-vs-calibration checks stay empty.
+        const ConfigResolver res = args.resolve();
+        const std::vector<TraceEvent> events =
+            readPerfettoTrace(trace_path);
+        std::cout << "trace:     " << events.size()
+                  << " events <- " << trace_path << "\n";
+        const RunHealth health =
+            analyzeTrace(events, res.spec().obs);
+        emitHealthArtifacts(health, json_path, csv_path);
+        renderHealthReport(std::cout, health);
+        return 0;
+    }
+
+    const ConfigResolver res =
+        args.resolve({{"payload.bits", "300"},
+                      {"channel.timeout_margin", "20"}});
+    const ExperimentSpec &base = res.spec();
+    // Same payload derivation as the sweep (seed + 2), so a report
+    // describes the same transmissions the sweep benches measure.
+    Rng rng(base.channel.system.seed + 2);
+    const BitString payload = randomBits(rng, base.payloadBits());
+    const CalibrationResult cal =
+        calibrate(base.channel.system, 400);
+
+    const std::vector<ExperimentSpec> grid = expandGrid(base);
+    std::cout << "report:    " << grid.size()
+              << " grid point(s), window "
+              << base.obs.windowCycles << " cycles\n";
+
+    RunnerOptions opts;
+    opts.jobs = static_cast<int>(args.num("jobs", 0));
+    std::vector<std::function<RunHealth()>> jobs;
+    for (const ExperimentSpec &point : grid) {
+        jobs.push_back([&point, &cal, &payload] {
+            RunHealthMonitor monitor(point.obs);
+            monitor.setBands(cal);
+            ChannelConfig cfg = point.toChannelConfig();
+            cfg.taps.push_back(&monitor);
+            runCovertTransmission(cfg, payload, &cal);
+            return monitor.finalize();
+        });
+    }
+    const std::vector<RunHealth> results =
+        runJobs(std::move(jobs), opts);
+
+    // Merge in submission order: the merged record — and therefore
+    // the whole rendered report — is bit-identical for any --jobs.
+    RunHealth health(base.obs);
+    for (const RunHealth &r : results)
+        health.merge(r);
+
+    emitHealthArtifacts(health, json_path, csv_path);
+    renderHealthReport(std::cout, health);
+    return 0;
+}
+
 void
 usage()
 {
@@ -689,7 +807,11 @@ usage()
            "  symbols    2-bit-symbol channel\n"
            "  inspect    follow one line's LineSnapshot through the "
            "protocol\n"
-           "  trace      tracing subsystem: list event categories\n\n"
+           "  trace      tracing subsystem: list event categories\n"
+           "  report     run-health report: band separation, error "
+           "budget, windowed\n"
+           "             telemetry (live run, or --trace FILE for a "
+           "saved capture)\n\n"
            "every experiment subcommand accepts --preset NAME, "
            "--config FILE,\n"
            "--dump-config FILE and --key value overrides of any "
@@ -712,7 +834,7 @@ main(int argc, char **argv)
         const Args args(
             argc, argv, 2,
             {"preset", "config", "dump-config", "trace", "counters",
-             "samples", "jobs", "line"},
+             "samples", "jobs", "line", "json", "csv"},
             {"list-categories", "fields"});
         if (cmd == "info")
             return cmdInfo(args);
@@ -730,6 +852,8 @@ main(int argc, char **argv)
             return cmdInspect(args);
         if (cmd == "trace")
             return cmdTrace(args);
+        if (cmd == "report")
+            return cmdReport(args);
     } catch (const ConfigError &e) {
         std::cerr << "cohersim: " << e.what() << "\n";
         return 2;
