@@ -33,7 +33,8 @@ ChannelConfig::deriveTimeout(std::size_t payload_bits,
     // Fixed slack for startup costs outside the bit clock: KSM merge
     // attempts, copy-on-write faults, calibration warm-up loads.
     constexpr Tick startupSlack = 2'000'000;
-    return static_cast<Tick>(margin * expected) + startupSlack;
+    return static_cast<Tick>(margin * expected * contentionFactor()) +
+           startupSlack;
 }
 
 CorePlan
@@ -69,24 +70,23 @@ CorePlan::standard(const SystemConfig &sys)
     return plan;
 }
 
-ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
-                             int n_remote, Combo csc)
-    : machine(cfg.system), plan(CorePlan::standard(cfg.system))
+void
+ExperimentRig::initProcesses()
 {
-    // Subscribe the caller's recorder and taps before anything else
-    // touches memory, so the captures include share establishment
-    // (KSM scans, COW splits, the ch.share_established milestone).
-    recorder_ = cfg.recorder;
-    if (recorder_)
-        recorder_->attach(machine.mem.trace(), cfg.system.numCores());
-    taps_ = cfg.taps;
-    for (BusTap *tap : taps_)
-        tap->attach(machine.mem.trace(), cfg.system.numCores());
-    trojanProc = &machine.kernel.createProcess("trojan");
-    spyProc = &machine.kernel.createProcess("spy");
+    // Pair-suffixed process names keep `ps`-style listings readable
+    // when one machine hosts dozens of adversary pairs.
+    const std::string suffix =
+        pairId == 0 ? std::string() : msgCat(".p", pairId);
+    trojanProc = &machine.kernel.createProcess("trojan" + suffix);
+    spyProc = &machine.kernel.createProcess("spy" + suffix);
+}
+
+void
+ExperimentRig::initShared(const ChannelConfig &cfg, Combo csc,
+                          std::uint64_t pattern_seed)
+{
     shared = establishSharedBlock(machine, *trojanProc, *spyProc,
-                                  cfg.sharing,
-                                  cfg.system.seed ^ 0x6b5fca37);
+                                  cfg.sharing, pattern_seed);
     // Adversary optimization: within the 64 lines of the shared
     // page, pick one homed on the socket where the communication
     // combo's loaders run, so re-establishment after each spy flush
@@ -106,10 +106,12 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
             }
         }
     }
-    // Noise agents start first: the channel must operate against an
-    // already-busy machine.
-    spawnNoiseAgents(machine, cfg.noiseThreads, plan.noise, cfg.noise,
-                     cfg.system.seed * 77 + 5);
+}
+
+void
+ExperimentRig::initCrew(const ChannelConfig &cfg, int n_local,
+                        int n_remote)
+{
     const std::vector<CoreId> local_cores(
         plan.localLoaders.begin(),
         plan.localLoaders.begin() + n_local);
@@ -119,6 +121,45 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
     crew = std::make_unique<PlacerCrew>(machine.kernel, machine.sched,
                                         *trojanProc, local_cores,
                                         remote_cores, cfg.params);
+}
+
+std::string
+ExperimentRig::counterPrefix() const
+{
+    return pairId == 0 ? std::string() : msgCat("pair", pairId, ".");
+}
+
+void
+addChannelCounters(CounterRegistry &reg, const std::string &prefix,
+                   const ChannelMetrics &metrics)
+{
+    reg.counter(prefix + "ch.bits_sent") = metrics.bitsSent;
+    reg.counter(prefix + "ch.bits_received") = metrics.bitsReceived;
+    reg.counter(prefix + "ch.nacks") = metrics.nacks;
+    reg.counter(prefix + "ch.retransmits") = metrics.retransmits;
+}
+
+ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
+                             int n_remote, Combo csc)
+    : owned_(std::make_unique<Machine>(cfg.system)), machine(*owned_),
+      plan(CorePlan::standard(cfg.system))
+{
+    // Subscribe the caller's recorder and taps before anything else
+    // touches memory, so the captures include share establishment
+    // (KSM scans, COW splits, the ch.share_established milestone).
+    recorder_ = cfg.recorder;
+    if (recorder_)
+        recorder_->attach(machine.mem.trace(), cfg.system.numCores());
+    taps_ = cfg.taps;
+    for (BusTap *tap : taps_)
+        tap->attach(machine.mem.trace(), cfg.system.numCores());
+    initProcesses();
+    initShared(cfg, csc, cfg.system.seed ^ 0x6b5fca37);
+    // Noise agents start first: the channel must operate against an
+    // already-busy machine.
+    spawnNoiseAgents(machine, cfg.noiseThreads, plan.noise, cfg.noise,
+                     cfg.system.seed * 77 + 5);
+    initCrew(cfg, n_local, n_remote);
     // Runtime defences (§VIII-E techniques 1 and 2). Technique 3 is
     // a timing-model change; see runCovertTransmission.
     if (cfg.defense == Defense::targetedNoise) {
@@ -143,6 +184,25 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
         cfg.sharing == SharingMode::ksm) {
         machine.kernel.enableKsmGuard();
     }
+}
+
+ExperimentRig::ExperimentRig(Machine &host, const ChannelConfig &cfg,
+                             const CorePlan &pair_plan, int n_local,
+                             int n_remote, Combo csc,
+                             std::uint32_t pair_id,
+                             std::uint64_t pattern_seed)
+    : machine(host), plan(pair_plan), pairId(pair_id)
+{
+    fatal_if(pair_id == 0,
+             "fleet pairs are numbered from 1 (0 marks the "
+             "single-pair path)");
+    // The machine's owner decides what observes its bus and how busy
+    // the host is: no recorder/taps, no noise agents and no
+    // machine-global defences are attached here — only this pair's
+    // processes, shared block and loader crew.
+    initProcesses();
+    initShared(cfg, csc, pattern_seed);
+    initCrew(cfg, n_local, n_remote);
 }
 
 ExperimentRig::~ExperimentRig()
@@ -221,6 +281,8 @@ runCovertTransmission(const ChannelConfig &cfg_in,
     report.metrics.nacks = nacks;
     report.metrics.retransmits = retransmits;
     report.counters = collectCounters(rig.machine, cfg.recorder);
+    addChannelCounters(report.counters, rig.counterPrefix(),
+                       report.metrics);
     return report;
 }
 

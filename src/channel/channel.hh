@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "channel/calibration.hh"
@@ -60,6 +61,12 @@ struct ChannelConfig
     /** Co-located kernel-build noise threads (paper Fig. 9). */
     int noiseThreads = 0;
     NoiseConfig noise;
+    /**
+     * Trojan/spy pairs sharing the machine (>= 1). The single-pair
+     * experiments leave this at 1; fleet runs set it so derived
+     * timeouts account for cross-pair contention.
+     */
+    int coResidentPairs = 1;
     /** Defence deployed against the adversaries (§VIII-E). */
     Defense defense = Defense::none;
     /** Record the spy's raw latency trace (paper Fig. 7). */
@@ -90,10 +97,43 @@ struct ChannelConfig
      * Dead operating points (the spy never locks on) then stop soon
      * after a live run would have finished instead of polling out a
      * one-size-fits-all constant.
+     *
+     * The expected time is scaled by contentionFactor(): a busy
+     * machine stretches every protocol phase (queue waits, preempted
+     * quanta), and a timeout derived for an idle machine makes heavy
+     * runs die at the safety stop and report completed = false
+     * instead of a measurable error rate.
      */
     Tick deriveTimeout(std::size_t payload_bits,
                        double margin = 10.0) const;
+
+    /**
+     * How much co-residency stretches the expected transmission
+     * time: 1.0 on an idle machine, growing with the configured
+     * noise threads and co-resident pairs. Noise agents are
+     * duty-cycled (a fraction of a core each); another pair is six
+     * pinned threads contending for the same uncore, so it weighs
+     * more.
+     */
+    double
+    contentionFactor() const
+    {
+        return 1.0 + 0.25 * noiseThreads +
+               0.75 * (coResidentPairs > 1 ? coResidentPairs - 1 : 0);
+    }
 };
+
+/**
+ * Publish the per-channel counters of one transmission into @p reg,
+ * namespaced by @p prefix: ch.bits_sent, ch.bits_received, ch.nacks,
+ * ch.retransmits. The prefix is "" on the single-pair path and
+ * "pairK." for fleet pair K, so two channels collected into one
+ * registry publish disjoint names instead of silently summing into
+ * each other's totals.
+ */
+void addChannelCounters(CounterRegistry &reg,
+                        const std::string &prefix,
+                        const ChannelMetrics &metrics);
 
 /** Everything one transmission produced. */
 struct ChannelReport
@@ -150,6 +190,8 @@ class ExperimentRig
 {
   public:
     /**
+     * Build a rig that owns its machine (the single-pair path).
+     *
      * @param cfg experiment configuration.
      * @param n_local local loader threads to spawn.
      * @param n_remote remote loader threads to spawn.
@@ -162,6 +204,29 @@ class ExperimentRig
                   Combo csc = Combo::localShared);
 
     /**
+     * Attach to an externally owned @p host machine instead of
+     * building one — the fleet orchestrator owns the machine and
+     * places each pair by its own core plan. The owner also owns the
+     * bus subscribers (recorder/taps), the noise agents and any
+     * machine-global defence, so this mode attaches none of them;
+     * only this pair's processes, shared block and loader crew are
+     * created.
+     *
+     * @param host the shared machine; must outlive the rig.
+     * @param cfg experiment configuration (system must match host).
+     * @param plan per-pair core placement.
+     * @param pair_id 1-based pair number; tags the pair's trace
+     *        events and prefixes its counters.
+     * @param pattern_seed seeds the shared-block content; must be
+     *        distinct per pair, or KSM would merge co-resident
+     *        pairs' pages with each other.
+     */
+    ExperimentRig(Machine &host, const ChannelConfig &cfg,
+                  const CorePlan &plan, int n_local, int n_remote,
+                  Combo csc, std::uint32_t pair_id,
+                  std::uint64_t pattern_seed);
+
+    /**
      * Detaches the config's recorder and taps (if any) from the
      * machine's trace bus, which dies with the rig; their captured
      * state stays readable afterwards.
@@ -171,14 +236,32 @@ class ExperimentRig
     ExperimentRig(const ExperimentRig &) = delete;
     ExperimentRig &operator=(const ExperimentRig &) = delete;
 
-    Machine machine;
+    /** Counter-name prefix: "" single-pair, "pairK." for pair K. */
+    std::string counterPrefix() const;
+
+  private:
+    /** Set when this rig owns its machine; null in attach mode.
+     *  Declared before the reference so the owning constructor can
+     *  materialize the machine first. */
+    std::unique_ptr<Machine> owned_;
+
+  public:
+    Machine &machine;
     CorePlan plan;
     Process *trojanProc = nullptr;
     Process *spyProc = nullptr;
     SharedBlock shared;
     std::unique_ptr<PlacerCrew> crew;
+    /** Pair tag of this rig's adversaries (0: single-pair path). */
+    std::uint32_t pairId = 0;
 
   private:
+    void initProcesses();
+    void initShared(const ChannelConfig &cfg, Combo csc,
+                    std::uint64_t pattern_seed);
+    void initCrew(const ChannelConfig &cfg, int n_local,
+                  int n_remote);
+
     TraceRecorder *recorder_ = nullptr;
     std::vector<BusTap *> taps_;
 };

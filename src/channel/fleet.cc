@@ -1,0 +1,233 @@
+#include "channel/fleet.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "os/kernel.hh"
+
+namespace csim
+{
+
+CorePlan
+fleetCorePlan(const SystemConfig &sys, int k)
+{
+    fatal_if(sys.sockets < 2,
+             "the covert-channel experiments need two sockets");
+    fatal_if(sys.coresPerSocket < 4,
+             "the covert-channel experiments need >= 4 cores per "
+             "socket");
+    CorePlan plan;
+    // Whole 4-core blocks keep a pair's own threads off each other's
+    // cores: pairs within the socket's block budget get disjoint
+    // attack cores (contending only through the shared uncore, the
+    // interesting regime), later pairs wrap around and oversubscribe.
+    const int blocks = sys.coresPerSocket / 4;
+    const int off = (k % blocks) * 4;
+    plan.spy = sys.coreOf(0, off);
+    plan.controller = sys.coreOf(0, off + 3);
+    plan.localLoaders = {sys.coreOf(0, off + 1),
+                         sys.coreOf(0, off + 2)};
+    const int rblocks = sys.coresPerSocket / 2;
+    const int roff = (k % rblocks) * 2;
+    plan.remoteLoaders = {sys.coreOf(1, roff),
+                          sys.coreOf(1, roff + 1)};
+    // Noise floats over the standard plan's spare cores; with more
+    // than one pair those overlap other pairs' blocks, which is the
+    // point — co-tenant load does not respect anyone's pinning.
+    plan.noise = CorePlan::standard(sys).noise;
+    return plan;
+}
+
+FleetReport
+runFleet(const FleetConfig &cfg_in, const CalibrationResult *cal)
+{
+    FleetConfig cfg = cfg_in;
+    fatal_if(cfg.pairs < 1, "a fleet needs >= 1 pair");
+    fatal_if(cfg.base.defense == Defense::targetedNoise ||
+                 cfg.base.defense == Defense::ksmGuard,
+             "machine-global software defences are not plumbed into "
+             "fleet runs yet; use the single-pair path");
+    // The llc-notify defence is a hardware change: apply it to the
+    // timing model before anything (calibration included) samples it.
+    if (cfg.base.defense == Defense::llcNotify)
+        cfg.base.system.timing.llcNotifiedOfUpgrade = true;
+
+    CalibrationResult local_cal;
+    if (!cal) {
+        local_cal =
+            calibrate(cfg.base.system, 400, cfg.base.params);
+        cal = &local_cal;
+    }
+
+    Machine machine(cfg.base.system);
+    // Machine-wide observers first, so the captures include every
+    // pair's share establishment.
+    if (cfg.base.recorder) {
+        cfg.base.recorder->attach(machine.mem.trace(),
+                                  cfg.base.system.numCores());
+    }
+    for (BusTap *tap : cfg.base.taps)
+        tap->attach(machine.mem.trace(), cfg.base.system.numCores());
+    CoherenceChannelDetector detector(cfg.detector);
+    detector.attach(machine.mem.trace());
+
+    // Noise agents start first: the fleet operates against an
+    // already-busy machine, like the single-pair rig.
+    spawnNoiseAgents(machine, cfg.noiseAgents,
+                     CorePlan::standard(cfg.base.system).noise,
+                     cfg.base.noise,
+                     cfg.base.system.seed * 77 + 5);
+
+    // Per-pair state needs stable addresses: the spawned coroutines
+    // hold pointers into it for the whole run.
+    struct PairRun
+    {
+        std::unique_ptr<ExperimentRig> rig;
+        const ScenarioInfo *scenario = nullptr;
+        BitString payload;
+        TrojanResult trojan;
+        SpyResult spy;
+        SimThread *spyThread = nullptr;
+    };
+    std::vector<std::unique_ptr<PairRun>> runs;
+
+    for (int k = 0; k < cfg.pairs; ++k) {
+        const std::uint32_t id = static_cast<std::uint32_t>(k + 1);
+        auto run = std::make_unique<PairRun>();
+        const Scenario sc =
+            cfg.scenarioMix.empty()
+                ? cfg.base.scenario
+                : cfg.scenarioMix[static_cast<std::size_t>(k) %
+                                  cfg.scenarioMix.size()];
+        run->scenario = &scenarioInfo(sc);
+        ChannelConfig pcfg = cfg.base;
+        pcfg.scenario = sc;
+        // Distinct per-pair share patterns: identical patterns would
+        // let KSM merge co-resident pairs' pages with *each other*,
+        // collapsing N channels onto one physical line.
+        run->rig = std::make_unique<ExperimentRig>(
+            machine, pcfg, fleetCorePlan(cfg.base.system, k),
+            run->scenario->localLoaders, run->scenario->remoteLoaders,
+            run->scenario->csc, id,
+            deriveSeed(cfg.base.system.seed ^ 0x6b5fca37, id));
+        // Payload from the pair's own seed stream (the + 1 mirrors
+        // the single-pair CLI's payload seeding).
+        Rng payload_rng(deriveSeed(cfg.base.system.seed + 1, id));
+        run->payload = randomBits(payload_rng, cfg.payloadBits);
+        runs.push_back(std::move(run));
+    }
+
+    // Per-pair retry-cost counting off the bus, routed by the pair
+    // tag the adversary threads stamp into their events.
+    std::vector<std::uint64_t> nacks(cfg.pairs + 1, 0);
+    std::vector<std::uint64_t> retransmits(cfg.pairs + 1, 0);
+    machine.mem.trace().subscribe(
+        categoryBit(TraceCategory::channel),
+        [&nacks, &retransmits](const TraceEvent &ev) {
+            if (ev.pair >= nacks.size())
+                return;
+            if (ev.type == TraceEventType::chNack)
+                ++nacks[ev.pair];
+            else if (ev.type == TraceEventType::chRetransmit)
+                ++retransmits[ev.pair];
+        });
+
+    for (int k = 0; k < cfg.pairs; ++k) {
+        PairRun *run = runs[static_cast<std::size_t>(k)].get();
+        ExperimentRig &rig = *run->rig;
+        const std::uint32_t id = rig.pairId;
+        const Tick offset =
+            cfg.staggerCycles * static_cast<Tick>(k);
+        const CalibrationResult *pair_cal = cal;
+        const ChannelParams params = cfg.base.params;
+        const TimingParams timing = cfg.base.system.timing;
+        SimThread *trojan_thread = machine.kernel.spawnThread(
+            machine.sched, msgCat("trojan.ctl.p", id),
+            rig.plan.controller, *rig.trojanProc,
+            [run, offset, pair_cal, params,
+             timing](ThreadApi api) -> Task {
+                if (offset > 0)
+                    co_await api.spin(offset);
+                co_await trojanBody(
+                    api, *run->rig->crew, run->rig->shared.trojanVa,
+                    *run->scenario, *pair_cal, params, timing,
+                    run->payload, run->trojan);
+            });
+        trojan_thread->pairTag = id;
+        run->spyThread = machine.kernel.spawnThread(
+            machine.sched, msgCat("spy.p", id), rig.plan.spy,
+            *rig.spyProc,
+            [run, offset, pair_cal, params](ThreadApi api) -> Task {
+                if (offset > 0)
+                    co_await api.spin(offset);
+                co_await spyBody(api, run->rig->shared.spyVa,
+                                 *run->scenario, *pair_cal, params,
+                                 run->spy, false);
+            });
+        run->spyThread->pairTag = id;
+    }
+
+    // The safety timeout accounts for the whole fleet's contention
+    // plus the staggered tail-pair start.
+    ChannelConfig derive = cfg.base;
+    derive.noiseThreads = cfg.noiseAgents;
+    derive.coResidentPairs = cfg.pairs;
+    const Tick timeout =
+        (cfg.timeoutMargin > 0.0
+             ? derive.deriveTimeout(cfg.payloadBits,
+                                    cfg.timeoutMargin)
+             : cfg.base.timeout) +
+        cfg.staggerCycles * static_cast<Tick>(cfg.pairs);
+    machine.sched.run(timeout, [&runs] {
+        for (const auto &run : runs) {
+            if (!run->spyThread->finished)
+                return false;
+        }
+        return true;
+    });
+    for (const auto &run : runs)
+        run->rig->crew->stopAll();
+
+    FleetReport report;
+    report.durationCycles = machine.sched.now();
+    report.completed = true;
+    report.counters =
+        collectCounters(machine, cfg.base.recorder);
+    for (const auto &run : runs) {
+        const ExperimentRig &rig = *run->rig;
+        PairReport pr;
+        pr.pairId = rig.pairId;
+        pr.scenario = run->scenario->id;
+        pr.sent = run->payload;
+        pr.received = run->spy.bits;
+        pr.completed = run->spyThread->finished;
+        pr.sharedLine = rig.shared.paddr;
+        pr.metrics = computeMetrics(
+            pr.sent, pr.received, run->trojan.txStart,
+            run->trojan.txEnd ? run->trojan.txEnd
+                              : machine.sched.now(),
+            cfg.base.system.timing);
+        pr.metrics.pairId = rig.pairId;
+        pr.metrics.nacks = nacks[rig.pairId];
+        pr.metrics.retransmits = retransmits[rig.pairId];
+        pr.detect = detector.verdict(rig.shared.paddr);
+        if (pr.detect.suspicious)
+            ++report.pairsFlagged;
+        report.completed = report.completed && pr.completed;
+        addChannelCounters(report.counters, rig.counterPrefix(),
+                           pr.metrics);
+        report.pairs.push_back(std::move(pr));
+    }
+    report.aggregate = detector.aggregateVerdict();
+
+    // The machine (and its bus) dies with this frame; the caller's
+    // observers outlive it and keep their captured state.
+    for (BusTap *tap : cfg.base.taps)
+        tap->detach();
+    if (cfg.base.recorder)
+        cfg.base.recorder->detach();
+    return report;
+}
+
+} // namespace csim

@@ -20,6 +20,12 @@ namespace csim
 /** Summary of one transmission. */
 struct ChannelMetrics
 {
+    /**
+     * Trojan/spy pair the transmission belongs to: 0 on the
+     * single-pair path, the 1-based pair number in a fleet run —
+     * matching the `pair` field of the channel trace events.
+     */
+    std::uint32_t pairId = 0;
     std::uint64_t bitsSent = 0;
     std::uint64_t bitsReceived = 0;
     /** Raw bit accuracy in [0, 1] (1 = perfect reception). */

@@ -25,7 +25,8 @@ chEvent(const ThreadApi &api, TraceEventType type,
     TraceBus *bus = api.traceBus();
     if (bus && bus->enabled<TraceCategory::channel>()) {
         bus->publish(TraceEvent{type, TraceCategory::channel,
-                                api.core(), api.now(), addr, a, b});
+                                api.core(), api.now(), addr, a, b,
+                                api.pairTag()});
     }
 }
 

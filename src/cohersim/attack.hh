@@ -18,6 +18,7 @@
 #include "channel/channel.hh"
 #include "channel/combo.hh"
 #include "channel/ecc.hh"
+#include "channel/fleet.hh"
 #include "channel/metrics.hh"
 #include "channel/noise.hh"
 #include "channel/placer.hh"

@@ -28,6 +28,17 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    // splitmix64 at stream position `index` of the sequence seeded by
+    // `base` (Vigna's reference constants).
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;

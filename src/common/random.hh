@@ -22,6 +22,16 @@ namespace csim
  * transmitted bit patterns) flows through instances of this class so a
  * run is fully reproducible from its seeds.
  */
+/**
+ * Decorrelated per-job seed: one splitmix64 step of the base seed at
+ * stream position @p index. Bit-exact on every platform, and jobs
+ * with adjacent indices get statistically independent streams. Both
+ * the host-parallel runner and the fleet orchestrator derive their
+ * per-unit seeds through this, so results never depend on execution
+ * order.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+
 class Rng
 {
   public:

@@ -89,6 +89,31 @@ ExperimentSpec::toChannelConfig() const
     return cfg;
 }
 
+FleetConfig
+ExperimentSpec::toFleetConfig() const
+{
+    FleetConfig cfg;
+    cfg.base = toChannelConfig();
+    // Fleet noise is fleet-owned: the per-rig noiseThreads knob only
+    // feeds the contention-derived timeout below.
+    cfg.base.noiseThreads = 0;
+    cfg.pairs = static_cast<int>(fleet.pairs);
+    cfg.noiseAgents = static_cast<int>(fleet.noiseAgents);
+    cfg.staggerCycles = static_cast<Tick>(fleet.staggerCycles);
+    for (const std::string &name : splitCsv(fleet.scenarioMix)) {
+        try {
+            cfg.scenarioMix.push_back(scenarioFromName(name));
+        } catch (const std::exception &) {
+            throw ConfigError(msgCat(
+                "fleet.scenario_mix entry '", name,
+                "' is not a Table I notation or row number"));
+        }
+    }
+    cfg.payloadBits = payloadBits();
+    cfg.timeoutMargin = timeoutMargin > 0.0 ? timeoutMargin : 20.0;
+    return cfg;
+}
+
 void
 ExperimentSpec::validate() const
 {
@@ -113,6 +138,19 @@ ExperimentSpec::validate() const
             channel.system.timing.longTailMin,
             " must not exceed system.timing.long_tail_max = ",
             channel.system.timing.longTailMax));
+
+    if (!fleet.scenarioMix.empty()) {
+        for (const std::string &name :
+             splitCsv(fleet.scenarioMix)) {
+            try {
+                scenarioFromName(name);
+            } catch (const std::exception &) {
+                throw ConfigError(msgCat(
+                    "fleet.scenario_mix entry '", name,
+                    "' is not a Table I notation or row number"));
+            }
+        }
+    }
 
     sweepAxes(*this);  // throws on malformed axis lists
 }

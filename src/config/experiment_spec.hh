@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "channel/channel.hh"
+#include "channel/fleet.hh"
 #include "common/bit_string.hh"
 #include "obs/obs_config.hh"
 
@@ -73,6 +74,25 @@ struct SweepSpec
     std::string noiseLevels;
 };
 
+/** Multi-tenant fleet axes (`fleet.*` config fields). */
+struct FleetSpec
+{
+    /**
+     * Concurrent trojan/spy pairs on one machine; > 1 switches
+     * `cohersim transmit` onto the fleet path.
+     */
+    long pairs = 1;
+    /** Fleet-wide co-tenant noise agents. */
+    long noiseAgents = 0;
+    /** Start-offset spacing between consecutive pairs, cycles. */
+    long staggerCycles = 200'000;
+    /**
+     * CSV of Table I notations/row numbers, cycled over the pairs;
+     * empty runs every pair in channel.scenario.
+     */
+    std::string scenarioMix;
+};
+
 /** The complete declarative description of one experiment (family). */
 struct ExperimentSpec
 {
@@ -92,6 +112,8 @@ struct ExperimentSpec
     double timeoutMargin = 0.0;
     PayloadSpec payload;
     SweepSpec sweep;
+    /** Multi-tenant fleet axes (`cohersim transmit` fleet path). */
+    FleetSpec fleet;
     /** Run-health observability knobs (`cohersim report`). */
     ObsConfig obs;
 
@@ -111,6 +133,17 @@ struct ExperimentSpec
      * margin is set.
      */
     ChannelConfig toChannelConfig() const;
+
+    /**
+     * Resolve the runnable fleet configuration: the resolved
+     * per-pair base (toChannelConfig) plus the fleet.* axes, with
+     * the scenario mix parsed into Scenario ids. The timeout margin
+     * falls back to 20 when unset — fleet timeouts are always
+     * contention-derived (ChannelConfig::deriveTimeout), never the
+     * raw channel.timeout, because co-resident pairs stretch every
+     * transmission. Throws ConfigError on a malformed mix entry.
+     */
+    FleetConfig toFleetConfig() const;
 
     /**
      * Check every registry field against its valid range plus the

@@ -726,6 +726,23 @@ FieldRegistry::FieldRegistry()
                  "noise axis: CSV of thread counts",
                  ACCESS_TEXT(s.sweep.noiseLevels)));
 
+    // --- multi-tenant fleet ----------------------------------------------
+    add(makeNumeric("fleet.pairs", Type::integer, 1, 64,
+                    "concurrent trojan/spy pairs on one machine "
+                    "(> 1 runs the fleet path)",
+                    ACCESS_INT(s.fleet.pairs), {"pairs"}));
+    add(makeNumeric("fleet.noise_agents", Type::integer, 0, 64,
+                    "fleet-wide co-tenant noise agents",
+                    ACCESS_INT(s.fleet.noiseAgents)));
+    add(makeNumeric("fleet.stagger_cycles", Type::integer, 0, big,
+                    "start-offset spacing between consecutive "
+                    "pairs, cycles",
+                    ACCESS_INT(s.fleet.staggerCycles)));
+    add(makeText("fleet.scenario_mix",
+                 "CSV of Table I notations/rows cycled over the "
+                 "pairs (empty: every pair runs channel.scenario)",
+                 ACCESS_TEXT(s.fleet.scenarioMix)));
+
     // --- run-health observability (cohersim report) ----------------------
     add(makeNumeric("obs.window_cycles", Type::integer, 1000, big,
                     "telemetry aggregation window, virtual cycles",
@@ -742,6 +759,10 @@ FieldRegistry::FieldRegistry()
                     "flag a band when more than this fraction of "
                     "its samples fall outside the calibrated range",
                     ACCESS_REAL(s.obs.driftWarnFraction)));
+    add(makeNumeric("obs.pair", Type::integer, -1, 64,
+                    "fleet pair whose channel events feed the "
+                    "health report (-1: all pairs)",
+                    ACCESS_INT(s.obs.pair)));
 }
 
 #undef ACCESS_INT

@@ -109,6 +109,26 @@ buildPresets()
           {"sweep.noise_levels", "0,6"},
           {"payload.bits", "120"},
           {"channel.timeout_margin", "20"}}});
+    presets.push_back(
+        {"fleet-quick",
+         "multi-tenant smoke: 4 pairs + 2 noise agents on a "
+         "16-core-per-socket machine",
+         {{"fleet.pairs", "4"},
+          {"fleet.noise_agents", "2"},
+          {"system.cores_per_socket", "16"},
+          {"channel.rate_kbps", "500"},
+          {"payload.bits", "64"},
+          {"channel.timeout_margin", "20"}}});
+    presets.push_back(
+        {"fleet-heavy",
+         "dense multi-tenant run: 16 oversubscribed pairs + 8 "
+         "noise agents",
+         {{"fleet.pairs", "16"},
+          {"fleet.noise_agents", "8"},
+          {"system.cores_per_socket", "16"},
+          {"channel.rate_kbps", "500"},
+          {"payload.bits", "96"},
+          {"channel.timeout_margin", "25"}}});
 
     return presets;
 }

@@ -75,10 +75,29 @@ CoherenceChannelDetector::observe(const TraceEvent &ev)
             ev.core != it->second.lastFlusher) {
             it->second.otherCoreTouched = true;
         }
+        // The aggregate monitor is address-blind: any access by a
+        // core other than the last flusher (of *any* line) counts
+        // as alternation of the combined train.
+        if (ev.core != aggregate_.lastFlusher)
+            aggregate_.otherCoreTouched = true;
         return;
     }
 
     LineState &state = lines_[ev.addr];
+    feedFlush(state, ev);
+    evaluate(state, ev.addr, ev.when);
+    // Feed the combined train too, but score it out of band: the
+    // aggregate verdict models a monitor without per-line state and
+    // must not feed anySuspicious()/suspiciousLines(), whose
+    // false-positive guarantees are per line.
+    feedFlush(aggregate_, ev);
+    evaluate(aggregate_, 0, ev.when, /*count_flagged=*/false);
+}
+
+void
+CoherenceChannelDetector::feedFlush(LineState &state,
+                                    const TraceEvent &ev)
+{
     if (state.lastFlushAt != 0) {
         const Tick gap = ev.when - state.lastFlushAt;
         if (gap > params_.maxGap) {
@@ -105,12 +124,11 @@ CoherenceChannelDetector::observe(const TraceEvent &ev)
     state.lastFlusher = ev.core;
     state.otherCoreTouched = false;
     ++state.flushes;
-    evaluate(state, ev.addr, ev.when);
 }
 
 void
 CoherenceChannelDetector::evaluate(LineState &state, PAddr line,
-                                   Tick when)
+                                   Tick when, bool count_flagged)
 {
     (void)line;
     if (state.suspicious || state.flushes < params_.minFlushes)
@@ -125,7 +143,8 @@ CoherenceChannelDetector::evaluate(LineState &state, PAddr line,
         alternation >= params_.minAlternation) {
         state.suspicious = true;
         state.flaggedAt = when;
-        ++flagged_;
+        if (count_flagged)
+            ++flagged_;
     }
 }
 
@@ -141,14 +160,11 @@ CoherenceChannelDetector::suspiciousLines() const
 }
 
 LineVerdict
-CoherenceChannelDetector::verdict(PAddr line) const
+CoherenceChannelDetector::verdictOf(const LineState &state,
+                                    PAddr line)
 {
     LineVerdict v;
     v.line = line;
-    const auto it = lines_.find(line);
-    if (it == lines_.end())
-        return v;
-    const LineState &state = it->second;
     v.suspicious = state.suspicious;
     v.flushes = state.flushes;
     v.intervalCv = intervalCv(state);
@@ -159,6 +175,24 @@ CoherenceChannelDetector::verdict(PAddr line) const
             : 0.0;
     v.flaggedAt = state.flaggedAt;
     return v;
+}
+
+LineVerdict
+CoherenceChannelDetector::verdict(PAddr line) const
+{
+    const auto it = lines_.find(line);
+    if (it == lines_.end()) {
+        LineVerdict v;
+        v.line = line;
+        return v;
+    }
+    return verdictOf(it->second, line);
+}
+
+LineVerdict
+CoherenceChannelDetector::aggregateVerdict() const
+{
+    return verdictOf(aggregate_, 0);
 }
 
 } // namespace csim

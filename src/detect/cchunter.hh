@@ -104,6 +104,18 @@ class CoherenceChannelDetector
     /** Verdict for a specific line. */
     LineVerdict verdict(PAddr line) const;
 
+    /**
+     * Machine-aggregate verdict: the same periodicity/alternation
+     * scoring applied to the *combined* flush stream, address-blind.
+     * This is the multi-tenant question — per-line trains stay
+     * clean when N pairs interleave (each pair flushes its own
+     * line), but an aggregate monitor without per-line state sees
+     * the union of all trains, whose inter-flush intervals grow
+     * irregular as tenants multiply. The returned verdict's `line`
+     * is 0.
+     */
+    LineVerdict aggregateVerdict() const;
+
     /** True if any line has been flagged. */
     bool anySuspicious() const { return flagged_ > 0; }
 
@@ -127,11 +139,16 @@ class CoherenceChannelDetector
         Tick flaggedAt = 0;
     };
 
-    void evaluate(LineState &state, PAddr line, Tick when);
+    void evaluate(LineState &state, PAddr line, Tick when,
+                  bool count_flagged = true);
+    void feedFlush(LineState &state, const TraceEvent &ev);
     static double intervalCv(const LineState &state);
+    static LineVerdict verdictOf(const LineState &state, PAddr line);
 
     DetectorParams params_;
     std::unordered_map<PAddr, LineState> lines_;
+    /** Address-blind union of every flush train (multi-tenant). */
+    LineState aggregate_;
     TraceBus *bus_ = nullptr;
     int subId_ = 0;
     std::uint64_t events_ = 0;

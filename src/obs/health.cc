@@ -125,6 +125,11 @@ RunHealthMonitor::detach()
 void
 RunHealthMonitor::observe(const TraceEvent &ev)
 {
+    // In a fleet, obs.pair narrows the channel-protocol streams to
+    // one pair's channel; machine-level streams stay unfiltered.
+    if (ev.category == TraceCategory::channel && cfg_.pair >= 0 &&
+        ev.pair != static_cast<std::uint32_t>(cfg_.pair))
+        return;
     WindowCounters &win = health_.series.at(ev.when);
     switch (ev.type) {
       case TraceEventType::memLoad: {

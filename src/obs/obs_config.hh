@@ -46,6 +46,13 @@ struct ObsConfig
      * fraction of its samples fall outside the calibrated interval.
      */
     double driftWarnFraction = 0.05;
+    /**
+     * Fleet pair whose channel-category events feed the health
+     * report; -1 folds in every pair. Machine-level streams (cache
+     * traffic, latency bands) are never filtered — only the ch.*
+     * protocol events carry a pair tag.
+     */
+    int pair = -1;
 };
 
 } // namespace csim

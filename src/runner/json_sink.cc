@@ -357,6 +357,47 @@ class JsonParser
         }
     }
 
+    /** Four hex digits of a \\uXXXX escape. */
+    unsigned
+    readHex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+                code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return code;
+    }
+
+    /** Append one Unicode code point (<= U+10FFFF) as UTF-8. */
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
     std::string
     parseString()
     {
@@ -383,33 +424,25 @@ class JsonParser
               case 'r': out += '\r'; break;
               case 't': out += '\t'; break;
               case 'u': {
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    const char h = next();
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        fail("invalid \\u escape");
+                unsigned code = readHex4();
+                // Surrogate halves are not characters: a high half
+                // must combine with an immediately following \u-
+                // escaped low half into one supplementary-plane code
+                // point; anything else is malformed JSON.
+                if (code >= 0xdc00 && code <= 0xdfff)
+                    fail("lone low surrogate in \\u escape");
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    if (next() != '\\' || next() != 'u')
+                        fail("high surrogate not followed by a "
+                             "\\u-escaped low surrogate");
+                    const unsigned low = readHex4();
+                    if (low < 0xdc00 || low > 0xdfff)
+                        fail("high surrogate followed by a non-"
+                             "surrogate \\u escape");
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                           (low - 0xdc00);
                 }
-                // The writer only ever \u-escapes controls; decode
-                // the Basic Latin range and encode the rest of the
-                // BMP as UTF-8.
-                if (code < 0x80) {
-                    out += static_cast<char>(code);
-                } else if (code < 0x800) {
-                    out += static_cast<char>(0xc0 | (code >> 6));
-                    out += static_cast<char>(0x80 | (code & 0x3f));
-                } else {
-                    out += static_cast<char>(0xe0 | (code >> 12));
-                    out += static_cast<char>(0x80 |
-                                             ((code >> 6) & 0x3f));
-                    out += static_cast<char>(0x80 | (code & 0x3f));
-                }
+                appendUtf8(out, code);
                 break;
               }
               default: fail("unknown escape sequence");

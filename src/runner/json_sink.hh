@@ -127,10 +127,12 @@ class JsonParseError : public std::runtime_error
 
 /**
  * Parse one JSON document (strict grammar, UTF-8 passed through,
- * \uXXXX escapes limited to the Basic Latin range the writer emits).
- * Numbers without '.', 'e' or 'E' parse as integers, everything else
- * as doubles, so a dump() → parseJson() round trip preserves values
- * bit-exactly. Throws JsonParseError on malformed input.
+ * \uXXXX escapes decoded for any code point — surrogate pairs
+ * combine into their supplementary-plane character, and unpaired
+ * surrogates are rejected as malformed). Numbers without '.', 'e' or
+ * 'E' parse as integers, everything else as doubles, so a dump() →
+ * parseJson() round trip preserves values bit-exactly. Throws
+ * JsonParseError on malformed input.
  */
 Json parseJson(const std::string &text);
 

@@ -24,17 +24,15 @@
 #include <utility>
 #include <vector>
 
+// deriveSeed — the per-job seed derivation every sweep relies on —
+// lives in the utility layer now so the channel's fleet orchestrator
+// can share it; re-exported here because the runner is where sweep
+// authors look for it.
+#include "common/random.hh"
 #include "runner/thread_pool.hh"
 
 namespace csim
 {
-
-/**
- * Decorrelated per-job seed: one splitmix64 step of the base seed at
- * stream position @p index. Bit-exact on every platform, and jobs
- * with adjacent indices get statistically independent streams.
- */
-std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
 
 /** Options shared by every sweep entry point. */
 struct RunnerOptions

@@ -79,6 +79,13 @@ class SimThread
     bool finished = false;
     /** Operations executed, for stats. */
     std::uint64_t opsExecuted = 0;
+    /**
+     * Covert-channel pair this thread belongs to; 0 when the thread
+     * is not part of any pair. Fleet orchestration tags every
+     * adversary thread (pairs are numbered from 1) so the trace
+     * events it publishes carry the pair id.
+     */
+    std::uint32_t pairTag = 0;
 
     /**
      * Install the top-level coroutine body. The factory is moved

@@ -104,6 +104,8 @@ class ThreadApi
 
     ThreadId id() const { return thread_->id(); }
     CoreId core() const { return thread_->core(); }
+    /** Covert-channel pair of this thread (0: not part of a pair). */
+    std::uint32_t pairTag() const { return thread_->pairTag; }
     SimThread *thread() const { return thread_; }
     Scheduler *scheduler() const { return sched_; }
 

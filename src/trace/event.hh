@@ -146,6 +146,14 @@ struct TraceEvent
     PAddr addr = 0;             //!< line/page address when meaningful
     std::uint64_t a = 0;        //!< payload word 1 (per-type meaning)
     std::uint64_t b = 0;        //!< payload word 2 (per-type meaning)
+    /**
+     * Channel-pair attribution: which trojan/spy pair the event
+     * belongs to. 0 for events outside any pair (memory traffic,
+     * noise, the single-pair legacy path); fleet pairs are numbered
+     * from 1 so their streams stay separable when N channels share
+     * one machine.
+     */
+    std::uint32_t pair = 0;
 };
 
 } // namespace csim

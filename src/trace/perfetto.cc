@@ -81,6 +81,11 @@ perfettoTraceJson(const std::vector<TraceEvent> &events,
         }
         args["a"] = ev.a;
         args["b"] = ev.b;
+        // Only fleet pairs (numbered from 1) are worth a field;
+        // omitting pair 0 keeps single-pair traces byte-identical
+        // with captures from before multi-tenant runs existed.
+        if (ev.pair != 0)
+            args["pair"] = static_cast<std::int64_t>(ev.pair);
         out["args"] = std::move(args);
         list.push(std::move(out));
     }
@@ -140,6 +145,8 @@ readPerfettoTrace(const std::string &path)
             ev.a = static_cast<std::uint64_t>(a->asInt());
         if (const Json *b = args->find("b"))
             ev.b = static_cast<std::uint64_t>(b->asInt());
+        if (const Json *pair = args->find("pair"))
+            ev.pair = static_cast<std::uint32_t>(pair->asInt());
         // Coreless events were filed under the kernel pseudo-process
         // with tid 0; per-core events carry tid = core + 1.
         const Json *tid = item.find("tid");

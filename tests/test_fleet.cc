@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the multi-tenant fleet: contention-aware timeouts,
+ * per-pair core planning, determinism (including across runner
+ * worker counts), pair attribution and counter namespacing, the
+ * machine-aggregate CC-Hunter verdict, and the BMP/surrogate-pair
+ * JSON string escapes the fleet artifacts rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cohersim/attack.hh"
+#include "config/presets.hh"
+#include "config/resolver.hh"
+#include "runner/runner.hh"
+
+namespace csim
+{
+namespace
+{
+
+/** The fleet-quick preset shrunk to test size (fast, completing). */
+FleetConfig
+quickFleet(int pairs)
+{
+    ConfigResolver res;
+    res.applyPreset("fleet-quick");
+    ExperimentSpec spec = res.spec();
+    spec.fleet.pairs = pairs;
+    spec.fleet.noiseAgents = 0;
+    spec.payload.bits = 32;
+    return spec.toFleetConfig();
+}
+
+TEST(ContentionTimeout, FactorIsExactlyOneWithoutContention)
+{
+    ChannelConfig cfg;
+    cfg.noiseThreads = 0;
+    cfg.coResidentPairs = 1;
+    // Bit-for-bit 1.0, so single-pair timeouts (and with them every
+    // existing golden) are untouched by the contention scaling.
+    EXPECT_EQ(cfg.contentionFactor(), 1.0);
+}
+
+TEST(ContentionTimeout, ScalesWithNoiseAndCoResidents)
+{
+    ChannelConfig cfg;
+    cfg.noiseThreads = 2;
+    cfg.coResidentPairs = 3;
+    EXPECT_DOUBLE_EQ(cfg.contentionFactor(), 1.0 + 0.5 + 1.5);
+
+    ChannelConfig quiet = cfg;
+    quiet.noiseThreads = 0;
+    quiet.coResidentPairs = 1;
+    const std::size_t bits = 64;
+    const double margin = 20.0;
+    // The pre-fix behaviour: a loaded machine got the same budget as
+    // an idle one, so heavily contended transmissions were cut off
+    // mid-payload. The scaled timeout must strictly dominate.
+    EXPECT_GT(cfg.deriveTimeout(bits, margin),
+              quiet.deriveTimeout(bits, margin));
+    // And grow monotonically with tenancy.
+    ChannelConfig denser = cfg;
+    denser.coResidentPairs = 8;
+    EXPECT_GT(denser.deriveTimeout(bits, margin),
+              cfg.deriveTimeout(bits, margin));
+}
+
+TEST(FleetCorePlanTest, PairZeroMatchesStandardPlan)
+{
+    SystemConfig sys;
+    sys.coresPerSocket = 16;
+    const CorePlan std_plan = CorePlan::standard(sys);
+    const CorePlan plan = fleetCorePlan(sys, 0);
+    EXPECT_EQ(plan.spy, std_plan.spy);
+    EXPECT_EQ(plan.controller, std_plan.controller);
+    EXPECT_EQ(plan.localLoaders, std_plan.localLoaders);
+    EXPECT_EQ(plan.remoteLoaders, std_plan.remoteLoaders);
+    EXPECT_EQ(plan.noise, std_plan.noise);
+}
+
+TEST(FleetCorePlanTest, BlocksAreDisjointUntilTheyWrap)
+{
+    SystemConfig sys;
+    sys.coresPerSocket = 16;  // four 4-core blocks on socket 0
+    std::vector<CoreId> attack;
+    for (int k = 0; k < 4; ++k) {
+        const CorePlan plan = fleetCorePlan(sys, k);
+        attack.push_back(plan.spy);
+        attack.push_back(plan.controller);
+        for (CoreId c : plan.localLoaders)
+            attack.push_back(c);
+    }
+    std::sort(attack.begin(), attack.end());
+    EXPECT_TRUE(std::adjacent_find(attack.begin(), attack.end()) ==
+                attack.end())
+        << "pairs within the block budget must not share cores";
+    // Pair 4 wraps back onto pair 0's block (oversubscription).
+    EXPECT_EQ(fleetCorePlan(sys, 4).spy, fleetCorePlan(sys, 0).spy);
+}
+
+TEST(FleetRun, IsDeterministic)
+{
+    const FleetConfig cfg = quickFleet(2);
+    const FleetReport a = runFleet(cfg);
+    const FleetReport b = runFleet(cfg);
+    ASSERT_EQ(a.pairs.size(), b.pairs.size());
+    EXPECT_EQ(a.durationCycles, b.durationCycles);
+    for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+        EXPECT_EQ(a.pairs[i].sent, b.pairs[i].sent);
+        EXPECT_EQ(a.pairs[i].received, b.pairs[i].received);
+        EXPECT_EQ(a.pairs[i].metrics.accuracy,
+                  b.pairs[i].metrics.accuracy);
+        EXPECT_EQ(a.pairs[i].metrics.durationCycles,
+                  b.pairs[i].metrics.durationCycles);
+    }
+    EXPECT_EQ(a.aggregate.suspicious, b.aggregate.suspicious);
+    EXPECT_EQ(a.aggregate.flushes, b.aggregate.flushes);
+}
+
+TEST(FleetRun, BitIdenticalAcrossRunnerWorkerCounts)
+{
+    // The fleet_scaling bench shape: one independent simulation per
+    // tenant count, fanned out over the worker pool. Results must
+    // not depend on the host's parallelism.
+    auto sweep = [] {
+        std::vector<std::function<FleetReport()>> jobs;
+        for (const int pairs : {1, 2, 3})
+            jobs.push_back(
+                [pairs] { return runFleet(quickFleet(pairs)); });
+        return jobs;
+    };
+    std::vector<std::vector<FleetReport>> results;
+    for (const int jobs : {1, 4, 8}) {
+        RunnerOptions opts;
+        opts.jobs = jobs;
+        opts.progress = false;
+        results.push_back(runJobs(sweep(), opts));
+    }
+    for (std::size_t j = 1; j < results.size(); ++j) {
+        ASSERT_EQ(results[0].size(), results[j].size());
+        for (std::size_t i = 0; i < results[0].size(); ++i) {
+            const FleetReport &a = results[0][i];
+            const FleetReport &b = results[j][i];
+            EXPECT_EQ(a.durationCycles, b.durationCycles);
+            ASSERT_EQ(a.pairs.size(), b.pairs.size());
+            for (std::size_t p = 0; p < a.pairs.size(); ++p) {
+                EXPECT_EQ(a.pairs[p].received, b.pairs[p].received);
+                EXPECT_EQ(a.pairs[p].metrics.effectiveKbps,
+                          b.pairs[p].metrics.effectiveKbps);
+            }
+        }
+    }
+}
+
+TEST(FleetRun, AttributesEachPairItsOwnTraffic)
+{
+    const FleetConfig cfg = quickFleet(4);
+    const FleetReport rep = runFleet(cfg);
+    ASSERT_EQ(rep.pairs.size(), 4u);
+    EXPECT_TRUE(rep.completed);
+    std::vector<PAddr> lines;
+    for (std::size_t i = 0; i < rep.pairs.size(); ++i) {
+        const PairReport &pr = rep.pairs[i];
+        // Report rows stay in pair order however the staggered
+        // starts interleave the completions.
+        EXPECT_EQ(pr.pairId, static_cast<std::uint32_t>(i + 1));
+        EXPECT_EQ(pr.metrics.pairId, pr.pairId);
+        EXPECT_TRUE(pr.completed);
+        // Each spy must decode *its own* trojan's payload: a
+        // cross-pair mixup would score ~50% against the wrong
+        // pattern. The per-pair pattern seeds also give each pair a
+        // distinct physical line (no KSM cross-pair merging).
+        EXPECT_EQ(pr.sent.size(), cfg.payloadBits);
+        EXPECT_GT(pr.metrics.accuracy, 0.9);
+        lines.push_back(pr.sharedLine);
+    }
+    std::sort(lines.begin(), lines.end());
+    EXPECT_TRUE(std::adjacent_find(lines.begin(), lines.end()) ==
+                lines.end())
+        << "co-resident pairs must transmit on distinct lines";
+    // Distinct payloads (per-pair seed streams): if two pairs shared
+    // a payload, the attribution assertion above would be vacuous.
+    EXPECT_NE(rep.pairs[0].sent, rep.pairs[1].sent);
+}
+
+TEST(FleetRun, NamespacesCountersPerPair)
+{
+    // The regression the namespacing fixes: two rigs on one machine
+    // used to write the same counter names, so the second rig's
+    // totals silently overwrote (or summed into) the first's.
+    const FleetReport rep = runFleet(quickFleet(2));
+    ASSERT_EQ(rep.pairs.size(), 2u);
+    for (const PairReport &pr : rep.pairs) {
+        const std::string prefix =
+            "pair" + std::to_string(pr.pairId) + ".";
+        EXPECT_EQ(rep.counters.value(prefix + "ch.bits_sent"),
+                  pr.metrics.bitsSent);
+        EXPECT_EQ(rep.counters.value(prefix + "ch.bits_received"),
+                  pr.metrics.bitsReceived);
+        EXPECT_GT(pr.metrics.bitsSent, 0u);
+    }
+    // The un-prefixed single-pair names must NOT appear: they would
+    // mean some pair's traffic still lands in the shared namespace.
+    EXPECT_EQ(rep.counters.value("ch.bits_sent"), 0u);
+}
+
+TEST(FleetRun, ScenarioMixCyclesOverPairs)
+{
+    ConfigResolver res;
+    res.applyPreset("fleet-quick");
+    ExperimentSpec spec = res.spec();
+    spec.fleet.pairs = 3;
+    spec.fleet.noiseAgents = 0;
+    spec.fleet.scenarioMix = "1,2";
+    spec.payload.bits = 16;
+    const FleetConfig cfg = spec.toFleetConfig();
+    ASSERT_EQ(cfg.scenarioMix.size(), 2u);
+    const FleetReport rep = runFleet(cfg);
+    ASSERT_EQ(rep.pairs.size(), 3u);
+    EXPECT_EQ(rep.pairs[0].scenario, cfg.scenarioMix[0]);
+    EXPECT_EQ(rep.pairs[1].scenario, cfg.scenarioMix[1]);
+    EXPECT_EQ(rep.pairs[2].scenario, cfg.scenarioMix[0]);
+}
+
+TEST(ConfigFleet, RejectsMalformedScenarioMix)
+{
+    ConfigResolver res;
+    res.applyPreset("fleet-quick");
+    ExperimentSpec spec = res.spec();
+    spec.fleet.scenarioMix = "1,bogus";
+    try {
+        spec.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("fleet.scenario_mix"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("bogus"),
+                  std::string::npos);
+    }
+}
+
+// --- the machine-aggregate CC-Hunter verdict ------------------------
+
+TraceEvent
+flushEv(CoreId core, PAddr line, Tick when)
+{
+    return TraceEvent{TraceEventType::memFlush, TraceCategory::mem,
+                      core, when, line,
+                      static_cast<std::uint64_t>(ServedBy::none), 0};
+}
+
+TraceEvent
+loadEv(CoreId core, PAddr line, Tick when)
+{
+    return TraceEvent{TraceEventType::memLoad, TraceCategory::mem,
+                      core, when, line,
+                      static_cast<std::uint64_t>(ServedBy::localLlc),
+                      0};
+}
+
+TEST(AggregateDetector, SingleTrainIsSuspiciousInAggregateToo)
+{
+    CoherenceChannelDetector det;
+    const PAddr line = 0x1000;
+    Tick now = 1'000;
+    for (int i = 0; i < 80; ++i) {
+        det.observe(flushEv(0, line, now));
+        det.observe(loadEv(3, line, now + 200));
+        now += 3'000;
+    }
+    EXPECT_TRUE(det.verdict(line).suspicious);
+    const LineVerdict agg = det.aggregateVerdict();
+    EXPECT_TRUE(agg.suspicious);
+    EXPECT_EQ(agg.line, 0u);
+    EXPECT_EQ(agg.flushes, det.verdict(line).flushes);
+}
+
+TEST(AggregateDetector, InterleavedTrainsHideTheAggregate)
+{
+    // Two pairs, each perfectly periodic on its own line but with
+    // incommensurate periods: per-line CC-Hunter flags both, while
+    // the address-blind union of the trains has irregular
+    // inter-flush intervals — the multi-tenant blind spot the fleet
+    // experiments measure.
+    CoherenceChannelDetector det;
+    const PAddr line_a = 0x1000, line_b = 0x9000;
+    Tick now_a = 1'000, now_b = 1'700;
+    for (int i = 0; i < 100; ++i) {
+        det.observe(flushEv(0, line_a, now_a));
+        det.observe(loadEv(3, line_a, now_a + 200));
+        now_a += 3'000;
+        det.observe(flushEv(1, line_b, now_b));
+        det.observe(loadEv(4, line_b, now_b + 200));
+        now_b += 4'700;
+    }
+    EXPECT_TRUE(det.verdict(line_a).suspicious);
+    EXPECT_TRUE(det.verdict(line_b).suspicious);
+    const LineVerdict agg = det.aggregateVerdict();
+    EXPECT_FALSE(agg.suspicious);
+    EXPECT_GT(agg.intervalCv, det.params().maxIntervalCv);
+}
+
+TEST(AggregateDetector, AggregateDoesNotFeedPerLineAlarms)
+{
+    // A periodic flush train spread round-robin over many lines:
+    // every per-line train is far below minFlushes, so no line may
+    // be flagged — but the aggregate train is long and periodic.
+    // The aggregate runs out-of-band: anySuspicious() must stay
+    // false (it drives the mitigation experiments' per-line logic).
+    CoherenceChannelDetector det;
+    Tick now = 1'000;
+    for (int i = 0; i < 200; ++i) {
+        const PAddr line =
+            0x1000 + static_cast<PAddr>(i % 40) * 0x40;
+        det.observe(flushEv(0, line, now));
+        det.observe(loadEv(3, line, now + 200));
+        now += 3'000;
+    }
+    EXPECT_FALSE(det.anySuspicious());
+    EXPECT_TRUE(det.suspiciousLines().empty());
+    const LineVerdict agg = det.aggregateVerdict();
+    EXPECT_TRUE(agg.suspicious);
+    EXPECT_EQ(agg.flushes, 200u);
+}
+
+// --- JSON \uXXXX escapes beyond Basic Latin -------------------------
+
+TEST(JsonUnicode, DecodesArbitraryBmpEscapes)
+{
+    const Json doc =
+        parseJson("{\"s\": \"A \\u00e9 \\u20ac \\u0950\"}");
+    const Json *s = doc.find("s");
+    ASSERT_NE(s, nullptr);
+    // 2-byte (é), 3-byte (€) and another 3-byte (ॐ) sequence.
+    EXPECT_EQ(s->asString(), "A \xc3\xa9 \xe2\x82\xac \xe0\xa5\x90");
+}
+
+TEST(JsonUnicode, CombinesSurrogatePairs)
+{
+    const Json doc = parseJson("{\"s\": \"\\ud83d\\ude00\"}");
+    const Json *s = doc.find("s");
+    ASSERT_NE(s, nullptr);
+    // U+1F600, a 4-byte UTF-8 sequence.
+    EXPECT_EQ(s->asString(), "\xf0\x9f\x98\x80");
+    EXPECT_EQ(s->asString().size(), 4u);
+}
+
+TEST(JsonUnicode, RoundTripsSupplementaryPlaneText)
+{
+    const Json doc = parseJson("{\"s\": \"\\ud83d\\ude00x\"}");
+    const Json again = parseJson(doc.dump());
+    const Json *s = again.find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->asString(), "\xf0\x9f\x98\x80x");
+}
+
+TEST(JsonUnicode, RejectsMalformedSurrogates)
+{
+    // Lone low surrogate.
+    EXPECT_THROW(parseJson("{\"s\": \"\\ude00\"}"), JsonParseError);
+    // High surrogate at end of string.
+    EXPECT_THROW(parseJson("{\"s\": \"\\ud83d\"}"), JsonParseError);
+    // High surrogate followed by a plain character.
+    EXPECT_THROW(parseJson("{\"s\": \"\\ud83dx\"}"), JsonParseError);
+    // High surrogate followed by a non-surrogate escape.
+    EXPECT_THROW(parseJson("{\"s\": \"\\ud83d\\u0041\"}"),
+                 JsonParseError);
+    // Truncated hex digits.
+    EXPECT_THROW(parseJson("{\"s\": \"\\u12\"}"), JsonParseError);
+}
+
+TEST(JsonUnicode, BasicLatinEscapesStillWork)
+{
+    const Json doc = parseJson("{\"s\": \"\\u0041\\u007a\"}");
+    const Json *s = doc.find("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->asString(), "Az");
+}
+
+} // namespace
+} // namespace csim

@@ -107,6 +107,25 @@ else
     settle report_health "$out"
 fi
 
+# The multi-tenant path is seeded and deterministic too: pin the
+# fleet-quick CLI transmit and the quick fleet-scaling sweep (its
+# BENCH_fleet.json must be bit-identical at any --jobs; CI and the
+# tests exercise other worker counts, this gate pins the content).
+out="$scratch/fleet_quick"
+mkdir -p "$out"
+(cd "$out" && "$cli" transmit --preset fleet-quick \
+    > stdout.raw 2>&1 \
+    && "$bench_dir/fleet_scaling" --quick --jobs 1 --quiet \
+    > sweep_stdout.raw 2>&1)
+if [ $? -ne 0 ]; then
+    echo "check_golden: fleet_quick FAILED to run" >&2
+    status=1
+else
+    mv "$out/stdout.raw" "$out/stdout.txt"
+    mv "$out/sweep_stdout.raw" "$out/sweep_stdout.txt"
+    settle fleet_quick "$out"
+fi
+
 if [ "$refresh" -eq 1 ]; then
     echo "check_golden: goldens written to $golden_dir"
 elif [ "$status" -eq 0 ]; then

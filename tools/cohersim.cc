@@ -319,6 +319,62 @@ writeCounters(const std::string &path, const CounterRegistry &reg)
               << "\n";
 }
 
+/**
+ * The multi-tenant transmit path (fleet.pairs > 1): N concurrent
+ * pairs on one machine, a per-pair results table and the
+ * machine-aggregate CC-Hunter verdict.
+ */
+int
+cmdTransmitFleet(const Args &args, const ExperimentSpec &spec)
+{
+    FleetConfig cfg = spec.toFleetConfig();
+    const std::string trace_path = args.str("trace", "");
+    const std::string counters_path = args.str("counters", "");
+    TraceRecorder recorder;
+    if (!trace_path.empty())
+        cfg.base.recorder = &recorder;
+    const FleetReport rep = runFleet(cfg);
+    if (!trace_path.empty()) {
+        const std::vector<TraceEvent> events = recorder.drain();
+        writePerfettoTrace(trace_path, events, cfg.base.system,
+                           recorder.dropped());
+        std::cout << "trace:     " << events.size() << " events ("
+                  << recorder.dropped() << " dropped) -> "
+                  << trace_path << "\n";
+    }
+    if (!counters_path.empty())
+        writeCounters(counters_path, rep.counters);
+
+    std::cout << "fleet:     " << cfg.pairs << " pair(s), "
+              << cfg.noiseAgents << " noise agent(s), stagger "
+              << cfg.staggerCycles << " cycles\n";
+    TablePrinter table;
+    table.header({"pair", "scenario", "accuracy", "eff Kbps",
+                  "retx", "detected", "done"});
+    for (const PairReport &pr : rep.pairs) {
+        table.row({std::to_string(pr.pairId),
+                   scenarioInfo(pr.scenario).notation,
+                   TablePrinter::pct(pr.metrics.accuracy),
+                   TablePrinter::num(pr.metrics.effectiveKbps),
+                   std::to_string(pr.metrics.retransmits),
+                   pr.detect.suspicious ? "yes" : "no",
+                   pr.completed ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << "detected:  " << rep.pairsFlagged << "/"
+              << rep.pairs.size()
+              << " pair(s) flagged per-line; aggregate stream "
+              << (rep.aggregate.suspicious ? "SUSPICIOUS"
+                                           : "not suspicious")
+              << " (cv " << TablePrinter::num(rep.aggregate.intervalCv)
+              << ", alternation "
+              << TablePrinter::num(rep.aggregate.alternation)
+              << ")\n"
+              << "completed: " << (rep.completed ? "yes" : "NO")
+              << "\n";
+    return rep.completed ? 0 : 1;
+}
+
 int
 cmdTransmit(const Args &args)
 {
@@ -333,11 +389,18 @@ cmdTransmit(const Args &args)
             << "  --trace FILE     capture the run and write a "
                "Perfetto/Chrome JSON trace\n"
                "  --counters FILE  dump the machine-wide counter "
-               "totals as JSON\n";
+               "totals as JSON\n"
+               "  fleet.pairs > 1 (e.g. --preset fleet-quick, or "
+               "--fleet.pairs 4) runs N concurrent\n"
+               "  trojan/spy pairs on one machine and reports "
+               "per-pair accuracy plus the aggregate\n"
+               "  CC-Hunter verdict\n";
         return 0;
     }
     const ConfigResolver res = args.resolve();
     const ExperimentSpec &spec = res.spec();
+    if (spec.fleet.pairs > 1)
+        return cmdTransmitFleet(args, spec);
     ChannelConfig cfg = spec.toChannelConfig();
     const std::string trace_path = args.str("trace", "");
     const std::string counters_path = args.str("counters", "");
