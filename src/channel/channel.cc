@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "os/kernel.hh"
+#include "phy/phy_channel.hh"
 
 namespace csim
 {
@@ -223,6 +224,17 @@ runCovertTransmission(const ChannelConfig &cfg_in,
     ChannelConfig cfg = cfg_in;
     if (cfg.defense == Defense::llcNotify)
         cfg.system.timing.llcNotifiedOfUpgrade = true;
+
+    // A hamming profile (or the adaptive controller, which never
+    // picks legacy-parity) reroutes the whole transmission through
+    // the framed FEC stack (src/phy); runPhyTransmission re-applies
+    // the defence, so hand the original config over untouched.
+    if (cfg.phy.profile != PhyProfile::legacyParity ||
+        cfg.phy.adaptive) {
+        ChannelReport report;
+        runPhyTransmission(cfg_in, payload, cal, &report);
+        return report;
+    }
 
     // The adversaries calibrate bands through self-measurement ahead
     // of time (paper §VII-B) — on a quiet machine.

@@ -25,6 +25,7 @@
 #include "channel/trojan.hh"
 #include "common/bit_string.hh"
 #include "mem/params.hh"
+#include "phy/phy_config.hh"
 #include "trace/counters.hh"
 #include "trace/recorder.hh"
 #include "trace/tap.hh"
@@ -69,6 +70,12 @@ struct ChannelConfig
     int coResidentPairs = 1;
     /** Defence deployed against the adversaries (§VIII-E). */
     Defense defense = Defense::none;
+    /**
+     * PHY channel stack selection (`phy.*`, src/phy). The default
+     * legacy-parity profile keeps every classic code path; a hamming
+     * profile reroutes transmissions through the framed FEC stack.
+     */
+    PhyConfig phy;
     /** Record the spy's raw latency trace (paper Fig. 7). */
     bool collectTrace = false;
     /**

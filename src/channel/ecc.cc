@@ -303,6 +303,11 @@ runEccTransmission(const ChannelConfig &cfg, const BitString &payload,
                                 : 0;
     report.effectiveKbps = cfg.system.timing.kbps(
         report.payloadBits, report.durationCycles);
+    report.payloadKbps = cfg.system.timing.kbps(
+        report.payloadBits -
+            std::min<std::uint64_t>(report.residualErrors,
+                                    report.payloadBits),
+        report.durationCycles);
     return report;
 }
 

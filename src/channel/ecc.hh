@@ -82,6 +82,8 @@ struct EccReport
     Tick durationCycles = 0;
     /** Effective information rate, Kbits/s. */
     double effectiveKbps = 0.0;
+    /** Goodput: payload bits minus residual errors, Kbits/s. */
+    double payloadKbps = 0.0;
     bool completed = false;
 };
 

@@ -1,5 +1,6 @@
 #include "channel/fleet.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.hh"
@@ -44,10 +45,6 @@ runFleet(const FleetConfig &cfg_in, const CalibrationResult *cal)
 {
     FleetConfig cfg = cfg_in;
     fatal_if(cfg.pairs < 1, "a fleet needs >= 1 pair");
-    fatal_if(cfg.base.defense == Defense::targetedNoise ||
-                 cfg.base.defense == Defense::ksmGuard,
-             "machine-global software defences are not plumbed into "
-             "fleet runs yet; use the single-pair path");
     // The llc-notify defence is a hardware change: apply it to the
     // timing model before anything (calibration included) samples it.
     if (cfg.base.defense == Defense::llcNotify)
@@ -116,6 +113,39 @@ runFleet(const FleetConfig &cfg_in, const CalibrationResult *cal)
         Rng payload_rng(deriveSeed(cfg.base.system.seed + 1, id));
         run->payload = randomBits(payload_rng, cfg.payloadBits);
         runs.push_back(std::move(run));
+    }
+
+    // Machine-global software defences (§VIII-E techniques 1 and 2)
+    // deploy once per host, not once per pair: the defender does not
+    // know which tenant is hostile, so it watches every shared line.
+    if (cfg.base.defense == Defense::targetedNoise) {
+        Process &monitor_proc =
+            machine.kernel.createProcess("monitor");
+        std::vector<VAddr> lines;
+        for (const auto &run : runs) {
+            const PAddr paddr = run->rig->shared.paddr;
+            const VAddr watch = monitor_proc.mapPhysical(
+                {pageAlign(paddr)}, false);
+            lines.push_back(watch + pageOffset(paddr));
+        }
+        // Round-robin over the watched lines at the single-pair
+        // monitor's aggregate budget scaled to the tenancy, so each
+        // line still flips E->S a few times per bit period.
+        const Tick gap = std::max<Tick>(
+            900 / static_cast<Tick>(lines.size()), 150);
+        machine.kernel.spawnThread(
+            machine.sched, "monitor",
+            cfg.base.system.coreOf(1, 3), monitor_proc,
+            [lines, gap](ThreadApi api) -> Task {
+                for (std::size_t i = 0;; i = (i + 1) % lines.size()) {
+                    co_await api.load(lines[i]);
+                    co_await api.spin(gap);
+                }
+            });
+    }
+    if (cfg.base.defense == Defense::ksmGuard &&
+        cfg.base.sharing == SharingMode::ksm) {
+        machine.kernel.enableKsmGuard();
     }
 
     // Per-pair retry-cost counting off the bus, routed by the pair

@@ -41,6 +41,14 @@ struct ChannelMetrics
      */
     double effectiveKbps = 0.0;
     /**
+     * Goodput: correctly delivered *payload* bits per second, net of
+     * any framing/FEC/parity overhead the scheme spends on the wire.
+     * For the plain and symbol channels every wire bit is a payload
+     * bit, so this equals effectiveKbps; the ECC and PHY sessions
+     * overwrite it with their payload-level rate.
+     */
+    double payloadKbps = 0.0;
+    /**
      * @name Retry cost (paper Fig. 10)
      * NACKs the transmitter observed and packet retransmissions it
      * issued, counted off the channel trace events so effectiveKbps

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "config/presets.hh"
+#include "phy/phy_config.hh"
 #include "runner/json_sink.hh"
 
 namespace csim
@@ -669,6 +670,43 @@ FieldRegistry::FieldRegistry()
     add(makeNumeric("channel.gap_claim", Type::real, 0, 1,
                     "fraction of the inter-band gap each band claims",
                     ACCESS_REAL(s.channel.params.gapClaim)));
+
+    // --- PHY channel stack (src/phy) -------------------------------------
+    add(makeChoice(
+        "phy.profile",
+        {"legacy-parity", "hamming-hard", "hamming-soft"},
+        "channel coding stack: the paper's parity+NACK scheme, or "
+        "the framed whiten/interleave/Hamming(8,4) stack with hard "
+        "or soft-decision decoding",
+        [](const ExperimentSpec &s) -> FieldValue {
+            return std::string(
+                phyProfileName(s.channel.phy.profile));
+        },
+        [](ExperimentSpec &s, const FieldValue &v) {
+            PhyProfile p = PhyProfile::legacyParity;
+            phyProfileFromName(std::get<std::string>(v).c_str(), p);
+            s.channel.phy.profile = p;
+        },
+        {"profile"}));
+    add(makeNumeric("phy.interleaver_depth", Type::integer, 1, 64,
+                    "block interleaver depth, wire bits (1: off); "
+                    "a depth-long burst hits each codeword once",
+                    ACCESS_INT(s.channel.phy.interleaverDepth)));
+    add(makeNumeric("phy.preamble_len", Type::integer, 8, 64,
+                    "correlation preamble length, wire bits "
+                    "(Barker-13 derived)",
+                    ACCESS_INT(s.channel.phy.preambleLen)));
+    add(makeFlag("phy.whiten",
+                 "PN9-whiten frame bodies to break payload runs",
+                 ACCESS_BOOL(s.channel.phy.whiten)));
+    add(makeFlag("phy.adaptive",
+                 "pick profile and raw rate from calibrated band "
+                 "separation (overrides phy.profile when it picks)",
+                 ACCESS_BOOL(s.channel.phy.adaptive), {"adaptive"}));
+    add(makeNumeric("phy.frame_nibbles", Type::integer, 4, 256,
+                    "payload nibbles per frame body (x8 wire bits "
+                    "after FEC)",
+                    ACCESS_INT(s.channel.phy.frameNibbles)));
 
     // --- noise workload -------------------------------------------------
     add(makeNumeric("noise.buffer_bytes", Type::integer, 4096, big,

@@ -110,6 +110,16 @@ buildPresets()
           {"payload.bits", "120"},
           {"channel.timeout_margin", "20"}}});
     presets.push_back(
+        {"phy-quick",
+         "PHY stack smoke: hamming-soft framed FEC on Table I "
+         "row 4 at 500 Kbps under light noise",
+         {{"channel.scenario", "RExclc-LSharedb"},
+          {"phy.profile", "hamming-soft"},
+          {"channel.rate_kbps", "500"},
+          {"channel.noise_threads", "2"},
+          {"payload.bits", "256"},
+          {"channel.timeout_margin", "20"}}});
+    presets.push_back(
         {"fleet-quick",
          "multi-tenant smoke: 4 pairs + 2 noise agents on a "
          "16-core-per-socket machine",

@@ -38,6 +38,8 @@ enum class ErrorCause : std::uint8_t
     noiseEviction,
     /** The spy lost the sample clock (out-of-band run, KSM/COW). */
     syncSlip,
+    /** A PHY FEC codeword was detected as unrepairable (ch.phy_fec_bad). */
+    fecUncorrectable,
     /** No cause evidence within the correlation radius. */
     unattributed,
     numCauses,

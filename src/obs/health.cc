@@ -172,6 +172,12 @@ RunHealthMonitor::observe(const TraceEvent &ev)
         ++win.syncSlips;
         causes_.push_back({ev.when, ErrorCause::syncSlip});
         break;
+      case TraceEventType::chPhyFecBad:
+        // A detected-unrepairable PHY codeword: the residual bits it
+        // leaves behind are charged to the FEC stage, not left
+        // unattributed.
+        causes_.push_back({ev.when, ErrorCause::fecUncorrectable});
+        break;
       case TraceEventType::chShareEstablished:
         sharedPage_ = pageAlign(ev.addr);
         break;

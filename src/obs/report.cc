@@ -173,6 +173,9 @@ renderHealthReport(std::ostream &os, const RunHealth &health)
         for (int i = 0; i < numErrorCauses; ++i) {
             const auto cause = static_cast<ErrorCause>(i);
             const std::uint64_t n = health.budget.count(cause);
+            // PHY-only row; keep legacy-profile reports unchanged.
+            if (cause == ErrorCause::fecUncorrectable && n == 0)
+                continue;
             table.row({errorCauseName(cause), std::to_string(n),
                        TablePrinter::pct(
                            static_cast<double>(n) /

@@ -1,0 +1,50 @@
+#include "phy/adaptive.hh"
+
+#include <algorithm>
+
+namespace csim
+{
+
+double
+bandSampleSeparation(const SampleSet &a, const SampleSet &b)
+{
+    if (a.count() == 0 || b.count() == 0)
+        return 0.0;
+    const double a_lo = a.percentile(5.0), a_hi = a.percentile(95.0);
+    const double b_lo = b.percentile(5.0), b_hi = b.percentile(95.0);
+    // Positive gap when the intervals are disjoint; the (negative)
+    // overlap depth otherwise — same convention as assessBands.
+    return std::max(b_lo - a_hi, a_lo - b_hi);
+}
+
+AdaptiveDecision
+phyChooseOperatingPoint(const CalibrationResult &cal,
+                        const ScenarioInfo &scenario,
+                        int noise_threads)
+{
+    AdaptiveDecision d;
+    d.separation = bandSampleSeparation(
+        cal.comboSamples(scenario.csc),
+        cal.comboSamples(scenario.csb));
+
+    // Fixed deterministic tiers. The separation thresholds are in
+    // cycles of the reference clock; jitter/contention widen the
+    // sampled intervals, so a shrinking gap is exactly the early
+    // warning that fast hard decisions will start flipping.
+    if (d.separation >= 30.0 && noise_threads == 0) {
+        d.profile = PhyProfile::hammingHard;
+        d.rateKbps = 550.0;
+    } else if (d.separation >= 30.0) {
+        d.profile = PhyProfile::hammingSoft;
+        d.rateKbps = 500.0;
+    } else if (d.separation >= 12.0) {
+        d.profile = PhyProfile::hammingSoft;
+        d.rateKbps = 450.0;
+    } else {
+        d.profile = PhyProfile::hammingSoft;
+        d.rateKbps = 400.0;
+    }
+    return d;
+}
+
+} // namespace csim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Adaptive operating-point selection: pick the FEC profile and the
+ * raw bit rate from the calibrated band statistics, at session
+ * start.
+ *
+ * The spy's whole decision problem is the separation of the
+ * scenario's Tc and Tb latency distributions (paper Fig. 2). The
+ * run-health assessment (src/obs/report.cc, assessBands) scores
+ * exactly this as the gap between per-band [p5, p95] sample
+ * intervals; the controller applies the same statistic to the
+ * calibration samples, which exist before any payload bit moves:
+ * wide separation on a quiet machine affords a fast hard-decision
+ * operating point, shrinking separation (or expected co-tenant
+ * noise) buys margin back with soft decoding and a longer bit
+ * period.
+ */
+
+#ifndef COHERSIM_PHY_ADAPTIVE_HH
+#define COHERSIM_PHY_ADAPTIVE_HH
+
+#include "channel/calibration.hh"
+#include "channel/combo.hh"
+#include "phy/phy_config.hh"
+
+namespace csim
+{
+
+/** The controller's pick, plus the evidence it acted on. */
+struct AdaptiveDecision
+{
+    PhyProfile profile = PhyProfile::hammingSoft;
+    /** Suggested raw rate, Kbps; 0 keeps the configured params. */
+    double rateKbps = 0.0;
+    /**
+     * Gap between the scenario's Tc and Tb [p5, p95] calibration
+     * sample intervals, cycles; negative means they overlap.
+     */
+    double separation = 0.0;
+};
+
+/**
+ * Percentile-interval separation of two calibration sample sets
+ * (the assessBands statistic, applied at calibration time).
+ */
+double bandSampleSeparation(const SampleSet &a, const SampleSet &b);
+
+/** Choose profile and rate for one scenario's calibrated bands. */
+AdaptiveDecision phyChooseOperatingPoint(const CalibrationResult &cal,
+                                         const ScenarioInfo &scenario,
+                                         int noise_threads);
+
+} // namespace csim
+
+#endif // COHERSIM_PHY_ADAPTIVE_HH

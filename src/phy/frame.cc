@@ -1,0 +1,159 @@
+#include "phy/frame.hh"
+
+#include "common/logging.hh"
+#include "phy/interleave.hh"
+#include "phy/preamble.hh"
+#include "phy/whiten.hh"
+
+namespace csim
+{
+
+namespace
+{
+
+/**
+ * Per-frame whitening seed: any nonzero 9-bit state works; mixing
+ * the sequence number in keeps consecutive frames' wire bodies
+ * decorrelated even for identical payload chunks.
+ */
+std::uint16_t
+whitenSeed(std::uint8_t seq)
+{
+    return static_cast<std::uint16_t>(0x100 |
+                                      ((seq * 0x1d + 0x53) & 0xff));
+}
+
+BitString
+encodeNibbles(const BitString &bits)
+{
+    BitString out;
+    out.reserve(bits.size() * 2);
+    for (std::size_t off = 0; off < bits.size();
+         off += hammingDataBits) {
+        std::uint8_t nibble = 0;
+        for (std::size_t i = 0; i < hammingDataBits; ++i) {
+            nibble = static_cast<std::uint8_t>(
+                (nibble << 1) | (bits[off + i] & 1));
+        }
+        const BitString code = hammingEncode84(nibble);
+        out.insert(out.end(), code.begin(), code.end());
+    }
+    return out;
+}
+
+} // namespace
+
+BitString
+phyEncodeFrame(std::uint8_t seq, const BitString &chunk,
+               const PhyConfig &cfg)
+{
+    BitString body = chunk;
+    while (body.size() % hammingDataBits != 0)
+        body.push_back(0);
+    const std::size_t nibbles = body.size() / hammingDataBits;
+    panic_if(nibbles == 0 || nibbles > 255,
+             "phy frame body must hold 1..255 nibbles, got ",
+             nibbles);
+
+    if (cfg.whiten)
+        whitenBits(body, whitenSeed(seq));
+
+    BitString wire = preamblePattern(cfg.preambleLen);
+    const std::uint8_t count = static_cast<std::uint8_t>(nibbles);
+    const std::uint8_t header_nibbles[phyHeaderNibbles] = {
+        static_cast<std::uint8_t>(seq & 0xf),
+        static_cast<std::uint8_t>(count >> 4),
+        static_cast<std::uint8_t>(count & 0xf),
+    };
+    for (const std::uint8_t n : header_nibbles) {
+        const BitString code = hammingEncode84(n);
+        wire.insert(wire.end(), code.begin(), code.end());
+    }
+
+    const BitString coded =
+        interleaveBits(encodeNibbles(body), cfg.interleaverDepth);
+    wire.insert(wire.end(), coded.begin(), coded.end());
+    return wire;
+}
+
+std::optional<PhyFrameHeader>
+phyDecodeHeader(const BitString &bits, const PhyConfig &cfg)
+{
+    (void)cfg;
+    if (bits.size() != phyHeaderWireBits)
+        return std::nullopt;
+    std::uint8_t nibbles[phyHeaderNibbles] = {};
+    for (std::size_t k = 0; k < phyHeaderNibbles; ++k) {
+        const BitString code(
+            bits.begin() +
+                static_cast<std::ptrdiff_t>(k * hammingCodeBits),
+            bits.begin() +
+                static_cast<std::ptrdiff_t>((k + 1) *
+                                            hammingCodeBits));
+        // The header always hard-decodes: SECDED's detect-only
+        // region is exactly the garbled-header signal the hunt loop
+        // needs to fall back on.
+        const auto nibble = hammingDecode84(code);
+        if (!nibble)
+            return std::nullopt;
+        nibbles[k] = *nibble;
+    }
+    PhyFrameHeader hdr;
+    hdr.seq = nibbles[0];
+    hdr.nibbles = (nibbles[1] << 4) | nibbles[2];
+    if (hdr.nibbles < 1 || hdr.nibbles > 255)
+        return std::nullopt;
+    return hdr;
+}
+
+PhyBodyResult
+phyDecodeBody(const std::vector<SoftBit> &body,
+              const PhyFrameHeader &hdr, const PhyConfig &cfg)
+{
+    PhyBodyResult out;
+    panic_if(body.size() != phyBodyWireBits(hdr.nibbles),
+             "phy body size mismatch: ", body.size(), " vs ",
+             phyBodyWireBits(hdr.nibbles));
+    const std::vector<SoftBit> codewords =
+        deinterleave(body, cfg.interleaverDepth);
+
+    BitString bits;
+    bits.reserve(static_cast<std::size_t>(hdr.nibbles) *
+                 hammingDataBits);
+    for (int k = 0; k < hdr.nibbles; ++k) {
+        const SoftBit *code =
+            codewords.data() +
+            static_cast<std::size_t>(k) * hammingCodeBits;
+        ++out.blocks;
+        std::uint8_t nibble = 0;
+        FecOutcome outcome = FecOutcome::clean;
+        if (cfg.profile == PhyProfile::hammingSoft) {
+            nibble = hammingDecodeSoft(code, &outcome);
+        } else {
+            BitString hard(hammingCodeBits);
+            for (std::size_t i = 0; i < hammingCodeBits; ++i)
+                hard[i] = code[i].bit;
+            const auto decoded = hammingDecode84(hard, &outcome);
+            if (decoded) {
+                nibble = *decoded;
+            } else {
+                // Best effort: the systematic data bits as received.
+                for (std::size_t i = 0; i < hammingDataBits; ++i) {
+                    nibble = static_cast<std::uint8_t>(
+                        (nibble << 1) | hard[i]);
+                }
+            }
+        }
+        out.corrected += outcome == FecOutcome::corrected;
+        out.uncorrectable += outcome == FecOutcome::uncorrectable;
+        for (std::size_t i = 0; i < hammingDataBits; ++i)
+            bits.push_back((nibble >> (hammingDataBits - 1 - i)) & 1);
+    }
+
+    if (cfg.whiten)
+        whitenBits(bits, whitenSeed(hdr.seq));
+    out.bits = std::move(bits);
+    return out;
+}
+
+} // namespace csim

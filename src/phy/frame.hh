@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Frame codec of the PHY stack. One frame on the wire is
+ *
+ *   [preamble | header | body]
+ *
+ * where the header is three (8,4)-protected nibbles — the frame
+ * sequence number and the body's nibble count — and the body is the
+ * payload chunk whitened, Hamming(8,4)-encoded nibble by nibble and
+ * block-interleaved. Frames are short on purpose: a lost bit
+ * boundary (a deletion in the wire stream) shears the positional
+ * alignment only to the end of the current frame, because the next
+ * frame re-locks on its own preamble.
+ */
+
+#ifndef COHERSIM_PHY_FRAME_HH
+#define COHERSIM_PHY_FRAME_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bit_string.hh"
+#include "phy/hamming.hh"
+#include "phy/phy_config.hh"
+
+namespace csim
+{
+
+/** Header nibbles: seq, count-high, count-low. */
+inline constexpr std::size_t phyHeaderNibbles = 3;
+/** Header size on the wire ((8,4) per nibble). */
+inline constexpr std::size_t phyHeaderWireBits =
+    phyHeaderNibbles * hammingCodeBits;
+
+/** Decoded frame header. */
+struct PhyFrameHeader
+{
+    std::uint8_t seq = 0;  //!< 4-bit frame sequence number
+    int nibbles = 0;       //!< payload nibbles in the body
+};
+
+/** What one frame body decoded to, with per-stage counts. */
+struct PhyBodyResult
+{
+    BitString bits;          //!< dewhitened payload chunk bits
+    int blocks = 0;          //!< FEC codewords in the body
+    int corrected = 0;       //!< codewords with a corrected error
+    int uncorrectable = 0;   //!< detected-uncorrectable codewords
+};
+
+/** Wire bits of the body for @p nibbles payload nibbles. */
+inline std::size_t
+phyBodyWireBits(int nibbles)
+{
+    return static_cast<std::size_t>(nibbles) * hammingCodeBits;
+}
+
+/**
+ * Build one complete frame: preamble + header + encoded body.
+ * @p chunk is padded with zero bits to a whole number of nibbles.
+ */
+BitString phyEncodeFrame(std::uint8_t seq, const BitString &chunk,
+                         const PhyConfig &cfg);
+
+/**
+ * Decode a received header (phyHeaderWireBits hard bits). nullopt
+ * when a header codeword is uncorrectable or the count is out of
+ * range — the frame is unrecoverable and the spy goes back to
+ * hunting for a preamble.
+ */
+std::optional<PhyFrameHeader>
+phyDecodeHeader(const BitString &bits, const PhyConfig &cfg);
+
+/**
+ * Decode a received body (phyBodyWireBits(hdr.nibbles) soft bits):
+ * deinterleave, FEC-decode each codeword (hard decisions under
+ * hammingHard, maximum-likelihood under hammingSoft), dewhiten.
+ * Uncorrectable codewords under the hard profile fall back to their
+ * systematic data bits and are counted.
+ */
+PhyBodyResult phyDecodeBody(const std::vector<SoftBit> &body,
+                            const PhyFrameHeader &hdr,
+                            const PhyConfig &cfg);
+
+} // namespace csim
+
+#endif // COHERSIM_PHY_FRAME_HH

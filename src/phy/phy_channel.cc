@@ -1,0 +1,385 @@
+#include "phy/phy_channel.hh"
+
+#include <algorithm>
+
+#include "channel/trace_hooks.hh"
+#include "common/logging.hh"
+#include "phy/adaptive.hh"
+#include "phy/preamble.hh"
+#include "phy/soft.hh"
+
+namespace csim
+{
+
+void
+phyPrepareSession(PhySession &s, const ChannelConfig &cfg,
+                  const BitString &payload,
+                  const CalibrationResult &cal)
+{
+    panic_if(cfg.phy.profile == PhyProfile::legacyParity &&
+                 !cfg.phy.adaptive,
+             "the PHY session needs a hamming profile (or adaptive "
+             "mode); legacy-parity runs the classic drivers");
+    s.scenario = &scenarioInfo(cfg.scenario);
+    s.cal = &cal;
+    s.params = cfg.params;
+    s.phy = cfg.phy;
+
+    if (cfg.phy.adaptive) {
+        const AdaptiveDecision d = phyChooseOperatingPoint(
+            cal, *s.scenario, cfg.noiseThreads);
+        s.phy.profile = d.profile;
+        s.params = ChannelParams::forTargetKbps(d.rateKbps,
+                                                cfg.system.timing);
+        s.rateKbps = d.rateKbps;
+        s.bandSeparation = d.separation;
+    }
+    s.period = s.params.nominalSamplePeriod(cfg.system.timing);
+
+    // Pre-encode the payload: fixed-size chunks, 4-bit sequence
+    // numbers. FEC mode never retransmits, so consecutive frames
+    // always carry distinct sequence numbers and the spy's duplicate
+    // guard only ever drops false decodes.
+    const std::size_t chunk_bits =
+        static_cast<std::size_t>(s.phy.frameNibbles) * hammingDataBits;
+    for (std::size_t off = 0; off < payload.size();
+         off += chunk_bits) {
+        const BitString chunk(
+            payload.begin() + static_cast<std::ptrdiff_t>(off),
+            payload.begin() +
+                static_cast<std::ptrdiff_t>(
+                    std::min(off + chunk_bits, payload.size())));
+        s.frames.push_back(phyEncodeFrame(
+            static_cast<std::uint8_t>(s.frames.size() & 0xf), chunk,
+            s.phy));
+    }
+}
+
+Task
+phyTrojanBody(ThreadApi api, PlacerCrew &crew, VAddr block,
+              PhySession &s)
+{
+    co_await trojanSyncPhase(api, block, *s.cal, s.params, s.trojan);
+    s.sessionStart = api.now();
+    if (s.rateKbps > 0.0) {
+        chEvent(api, TraceEventType::chPhyAdapt,
+                static_cast<std::uint64_t>(s.phy.profile),
+                static_cast<std::uint64_t>(s.rateKbps));
+    }
+
+    bool first = true;
+    for (const BitString &frame : s.frames) {
+        TrojanResult tr;
+        co_await trojanTransmit(api, crew, block, *s.scenario,
+                                s.params, s.period, frame, tr);
+        if (first) {
+            s.trojan.txStart = tr.txStart;
+            first = false;
+        }
+        s.trojan.txEnd = tr.txEnd;
+        s.rawBitsSent += frame.size();
+        ++s.stages.framesSent;
+        // Brief inter-frame silence: the spy's translator parks in
+        // its boundary state and the next preamble re-locks it.
+        co_await api.spin(2 * s.period);
+    }
+    crew.idle();
+    s.trojanEnd = api.now();
+    s.trojanDone = true;
+}
+
+Task
+phySpyBody(ThreadApi api, VAddr block, PhySession &s)
+{
+    LatencyBand tc = s.cal->band(s.scenario->csc);
+    LatencyBand tb = s.cal->band(s.scenario->csb);
+    LatencyBand dram = s.cal->dramBand;
+    {
+        std::vector<LatencyBand *> used = {&tc, &tb, &dram};
+        claimGaps(used, s.params.gapClaim);
+    }
+
+    SoftTranslator translator(s.params);
+    PreambleDetector detector(preamblePattern(s.phy.preambleLen),
+                              preambleMismatchBudget(s.phy.preambleLen));
+    enum class Rx : std::uint8_t { hunt, header, body };
+    Rx rx = Rx::hunt;
+    BitString header_bits;
+    std::vector<SoftBit> body_bits;
+    PhyFrameHeader hdr;
+    // Absolute frame index recovered from the 4-bit wire sequence:
+    // the delta to the previously accepted frame's sequence number
+    // unwraps it (frames arrive in transmit order; up to 15
+    // consecutive losses stay unambiguous).
+    int last_seq = -1;
+    std::size_t frame_index = 0;
+    int out_of_band = 0;
+    std::uint64_t wire_index = 0;
+
+    // The FEC stack has no reverse channel, so the spy simply
+    // listens until the trojan has fallen silent for good.
+    const auto session_over = [&] {
+        return s.trojanDone && api.now() > s.trojanEnd + 4 * s.period;
+    };
+
+    while (!session_over()) {
+        co_await api.flush(block);
+        co_await api.spin(s.params.ts);
+        const Tick lat = co_await api.load(block);
+        const double latency = static_cast<double>(lat);
+        const auto cls = classifySample(latency, tc, tb);
+        if (cls == SampleClass::outOfBand) {
+            ++out_of_band;
+        } else {
+            // Slips reported at recovery, as in spyBody, so the
+            // inter-frame quiet gaps never count as one each sample.
+            if (out_of_band > 0) {
+                chEvent(api, TraceEventType::chSyncSlip,
+                        static_cast<std::uint64_t>(out_of_band));
+            }
+            out_of_band = 0;
+        }
+
+        const auto soft = translator.feed(
+            cls, classifyConfidence(latency, tc, tb, cls));
+        if (!soft)
+            continue;
+        ++s.stages.wireBitsReceived;
+        s.spy.bits.push_back(soft->bit);
+        chEvent(api, TraceEventType::chRxBit, soft->bit,
+                wire_index++);
+
+        switch (rx) {
+          case Rx::hunt:
+            if (detector.push(soft->bit)) {
+                ++s.stages.preambleLocks;
+                chEvent(api, TraceEventType::chPhyPreambleLock,
+                        static_cast<std::uint64_t>(
+                            detector.lastMismatches()));
+                if (!s.spy.sawTransmission) {
+                    s.spy.sawTransmission = true;
+                    s.spy.rxStart = api.now();
+                    chEvent(api, TraceEventType::chRxStart);
+                }
+                header_bits.clear();
+                rx = Rx::header;
+            }
+            break;
+          case Rx::header:
+            header_bits.push_back(soft->bit);
+            if (header_bits.size() == phyHeaderWireBits) {
+                if (const auto h =
+                        phyDecodeHeader(header_bits, s.phy)) {
+                    hdr = *h;
+                    body_bits.clear();
+                    rx = Rx::body;
+                } else {
+                    ++s.stages.headerBad;
+                    chEvent(api, TraceEventType::chPhyHeaderBad,
+                            s.stages.headerBad);
+                    rx = Rx::hunt;
+                }
+            }
+            break;
+          case Rx::body:
+            body_bits.push_back(*soft);
+            if (body_bits.size() == phyBodyWireBits(hdr.nibbles)) {
+                const PhyBodyResult res =
+                    phyDecodeBody(body_bits, hdr, s.phy);
+                s.stages.fecBlocks +=
+                    static_cast<std::uint64_t>(res.blocks);
+                s.stages.fecCorrected +=
+                    static_cast<std::uint64_t>(res.corrected);
+                s.stages.fecUncorrectable +=
+                    static_cast<std::uint64_t>(res.uncorrectable);
+                if (res.corrected > 0) {
+                    chEvent(api, TraceEventType::chPhyFecCorrected,
+                            static_cast<std::uint64_t>(res.corrected),
+                            hdr.seq);
+                }
+                if (res.uncorrectable > 0) {
+                    chEvent(api, TraceEventType::chPhyFecBad,
+                            static_cast<std::uint64_t>(
+                                res.uncorrectable),
+                            hdr.seq);
+                }
+                const bool dup = static_cast<int>(hdr.seq) == last_seq;
+                if (dup) {
+                    ++s.stages.framesDuplicate;
+                } else {
+                    if (last_seq < 0) {
+                        // Losses before the first lock: the raw
+                        // sequence is the absolute index (mod 16).
+                        frame_index = hdr.seq;
+                    } else {
+                        frame_index += static_cast<std::size_t>(
+                            (static_cast<int>(hdr.seq) - last_seq +
+                             16) %
+                            16);
+                    }
+                    s.accepted.emplace_back(frame_index, res.bits);
+                    last_seq = hdr.seq;
+                    ++s.stages.framesAccepted;
+                }
+                chEvent(api, TraceEventType::chPhyFrame, hdr.seq,
+                        dup ? 0 : 1);
+                s.spy.rxEnd = api.now();
+                detector.reset();
+                rx = Rx::hunt;
+            }
+            break;
+        }
+    }
+    chEvent(api, TraceEventType::chRxEnd, s.stages.wireBitsReceived);
+}
+
+PhyReport
+phyFinalizeSession(const PhySession &s, const BitString &payload,
+                   const TimingParams &timing, Tick fallback_end)
+{
+    PhyReport r;
+    r.payloadBits = payload.size();
+    r.frames = static_cast<int>(s.frames.size());
+    r.rawBitsSent = s.rawBitsSent;
+    r.profileUsed = s.phy.profile;
+    r.rateKbps = s.rateKbps;
+    r.bandSeparation = s.bandSeparation;
+    r.stages = s.stages;
+
+    // Place each accepted chunk at its sequence-derived offset;
+    // lost frames stay zero-filled erasures instead of shifting
+    // every later chunk out of position.
+    const std::size_t chunk_bits =
+        static_cast<std::size_t>(s.phy.frameNibbles) *
+        hammingDataBits;
+    r.delivered.assign(payload.size(), 0);
+    for (const auto &[index, chunk] : s.accepted) {
+        const std::size_t off = index * chunk_bits;
+        for (std::size_t i = 0;
+             i < chunk.size() && off + i < r.delivered.size(); ++i) {
+            r.delivered[off + i] = chunk[i];
+        }
+    }
+    if (s.accepted.empty())
+        r.delivered.clear();
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        if (i >= r.delivered.size() || r.delivered[i] != payload[i])
+            ++r.residualErrors;
+    }
+
+    const Tick end = s.trojanDone ? s.trojanEnd : fallback_end;
+    r.durationCycles =
+        end > s.sessionStart ? end - s.sessionStart : 0;
+    r.effectiveKbps = timing.kbps(r.payloadBits, r.durationCycles);
+    const std::uint64_t good =
+        r.payloadBits - std::min(r.residualErrors, r.payloadBits);
+    r.payloadKbps = timing.kbps(good, r.durationCycles);
+    return r;
+}
+
+ChannelMetrics
+phyChannelMetrics(const PhyReport &report, const PhySession &s,
+                  const BitString &payload,
+                  const TimingParams &timing)
+{
+    ChannelMetrics m = computeMetrics(
+        payload, report.delivered, s.trojan.txStart,
+        s.trojanDone ? s.trojanEnd : s.trojan.txEnd, timing);
+    // Payload-level accuracy and goodput; the wire rate keeps the
+    // FEC expansion factor visible next to them.
+    m.payloadKbps = m.effectiveKbps;
+    m.rawKbps = timing.kbps(report.rawBitsSent, m.durationCycles);
+    return m;
+}
+
+void
+addPhyCounters(CounterRegistry &reg, const std::string &prefix,
+               const PhyReport &report)
+{
+    const std::string base = prefix + "ch.phy.";
+    reg.counter(base + "frames_sent") = report.stages.framesSent;
+    reg.counter(base + "frames_accepted") =
+        report.stages.framesAccepted;
+    reg.counter(base + "preamble_locks") =
+        report.stages.preambleLocks;
+    reg.counter(base + "header_bad") = report.stages.headerBad;
+    reg.counter(base + "fec_corrected") = report.stages.fecCorrected;
+    reg.counter(base + "fec_uncorrectable") =
+        report.stages.fecUncorrectable;
+    reg.counter(base + "wire_bits") = report.rawBitsSent;
+    // The profile the session actually ran (the adaptive controller
+    // may override the configured one) and, when adaptive, the raw
+    // rate it picked — so report consumers need no side channel.
+    reg.counter(base + "profile") =
+        static_cast<std::uint64_t>(report.profileUsed);
+    if (report.rateKbps > 0.0)
+        reg.counter(base + "adapt_rate_kbps") =
+            static_cast<std::uint64_t>(report.rateKbps);
+}
+
+PhyReport
+runPhyTransmission(const ChannelConfig &cfg_in,
+                   const BitString &payload,
+                   const CalibrationResult *cal,
+                   ChannelReport *channel_report)
+{
+    // Mirror runCovertTransmission: the llc-notify defence changes
+    // the timing model before calibration samples it.
+    ChannelConfig cfg = cfg_in;
+    if (cfg.defense == Defense::llcNotify)
+        cfg.system.timing.llcNotifiedOfUpgrade = true;
+
+    CalibrationResult local_cal;
+    if (!cal) {
+        local_cal = calibrate(cfg.system, 400, cfg.params);
+        cal = &local_cal;
+    }
+
+    PhySession session;
+    phyPrepareSession(session, cfg, payload, *cal);
+
+    ExperimentRig rig(cfg, session.scenario->localLoaders,
+                      session.scenario->remoteLoaders,
+                      session.scenario->csc);
+
+    rig.machine.kernel.spawnThread(
+        rig.machine.sched, "trojan.ctl", rig.plan.controller,
+        *rig.trojanProc, [&](ThreadApi api) {
+            return phyTrojanBody(api, *rig.crew, rig.shared.trojanVa,
+                                 session);
+        });
+    SimThread *spy_thread = rig.machine.kernel.spawnThread(
+        rig.machine.sched, "spy", rig.plan.spy, *rig.spyProc,
+        [&](ThreadApi api) {
+            return phySpyBody(api, rig.shared.spyVa, session);
+        });
+
+    rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
+    rig.crew->stopAll();
+
+    PhyReport report = phyFinalizeSession(session, payload,
+                                          cfg.system.timing,
+                                          rig.machine.sched.now());
+    report.completed = spy_thread->finished;
+
+    if (channel_report) {
+        channel_report->sent = payload;
+        channel_report->received = report.delivered;
+        channel_report->trojan = session.trojan;
+        channel_report->spy = session.spy;
+        channel_report->shared = rig.shared;
+        channel_report->completed = report.completed;
+        channel_report->metrics = phyChannelMetrics(
+            report, session, payload, cfg.system.timing);
+        channel_report->counters =
+            collectCounters(rig.machine, cfg.recorder);
+        addChannelCounters(channel_report->counters,
+                           rig.counterPrefix(),
+                           channel_report->metrics);
+        addPhyCounters(channel_report->counters, rig.counterPrefix(),
+                       report);
+    }
+    return report;
+}
+
+} // namespace csim

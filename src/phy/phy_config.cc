@@ -1,0 +1,34 @@
+#include "phy/phy_config.hh"
+
+#include <cstring>
+#include <initializer_list>
+
+namespace csim
+{
+
+const char *
+phyProfileName(PhyProfile p)
+{
+    switch (p) {
+      case PhyProfile::legacyParity: return "legacy-parity";
+      case PhyProfile::hammingHard: return "hamming-hard";
+      case PhyProfile::hammingSoft: return "hamming-soft";
+    }
+    return "?";
+}
+
+bool
+phyProfileFromName(const char *name, PhyProfile &out)
+{
+    for (const PhyProfile p :
+         {PhyProfile::legacyParity, PhyProfile::hammingHard,
+          PhyProfile::hammingSoft}) {
+        if (std::strcmp(name, phyProfileName(p)) == 0) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace csim

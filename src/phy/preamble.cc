@@ -1,0 +1,71 @@
+#include "phy/preamble.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+BitString
+preamblePattern(int len)
+{
+    panic_if(len < 4, "preamble length must be >= 4 bits");
+    static constexpr std::uint8_t barker13[13] = {1, 1, 1, 1, 1, 0, 0,
+                                                  1, 1, 0, 1, 0, 1};
+    BitString out(static_cast<std::size_t>(len));
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = barker13[i % 13];
+    return out;
+}
+
+int
+preambleMismatchBudget(int len)
+{
+    // One tolerated flip per octet of preamble: a 16-bit preamble
+    // survives two hits, while random data (expected len/2
+    // mismatches) stays far outside the budget.
+    return len / 8;
+}
+
+PreambleDetector::PreambleDetector(BitString pattern,
+                                   int max_mismatches)
+    : pattern_(std::move(pattern)),
+      window_(pattern_.size(), 0),
+      maxMismatches_(max_mismatches)
+{
+    panic_if(pattern_.empty(), "preamble pattern is empty");
+}
+
+bool
+PreambleDetector::push(std::uint8_t bit)
+{
+    window_[head_] = bit & 1;
+    head_ = (head_ + 1) % window_.size();
+    if (++seen_ < window_.size())
+        return false;
+    // Compare the ring against the pattern; head_ now points at the
+    // oldest bit. O(len) per push is fine for len <= 32.
+    int mismatches = 0;
+    for (std::size_t i = 0; i < pattern_.size(); ++i) {
+        const std::uint8_t got =
+            window_[(head_ + i) % window_.size()];
+        mismatches += got != pattern_[i];
+        if (mismatches > maxMismatches_)
+            return false;
+    }
+    lastMismatches_ = mismatches;
+    // A lock consumes the window: the next lock needs a full fresh
+    // preamble, so frame-body bits cannot re-trigger on the tail.
+    seen_ = 0;
+    head_ = 0;
+    return true;
+}
+
+void
+PreambleDetector::reset()
+{
+    seen_ = 0;
+    head_ = 0;
+    lastMismatches_ = 0;
+}
+
+} // namespace csim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Frame synchronization: a correlation preamble replacing the
+ * legacy "two consecutive boundary samples" start gate.
+ *
+ * The trojan prefixes every frame with a cyclic extension of the
+ * Barker-13 sequence (the classic low-autocorrelation sync word);
+ * the spy slides a window over its decoded bit stream and declares a
+ * lock when the window correlates with the pattern up to a small
+ * mismatch budget. Tolerating flipped bits means a noise eviction
+ * inside the preamble delays the lock by at most a bit instead of
+ * losing the whole frame, and each frame re-locking on its own
+ * preamble bounds clock drift to a single frame (the drift-tracking
+ * role of the legacy sync handshake's missing half).
+ */
+
+#ifndef COHERSIM_PHY_PREAMBLE_HH
+#define COHERSIM_PHY_PREAMBLE_HH
+
+#include <cstddef>
+
+#include "common/bit_string.hh"
+
+namespace csim
+{
+
+/**
+ * The sync pattern: Barker-13 (1111100110101) extended cyclically to
+ * @p len bits. Lengths of 8..32 keep the sidelobe behaviour; the
+ * registry range enforces that.
+ */
+BitString preamblePattern(int len);
+
+/** Mismatch budget a detector of @p len bits should tolerate. */
+int preambleMismatchBudget(int len);
+
+/**
+ * Streaming correlator: push decoded bits one at a time; returns
+ * true on the bit completing a window within the mismatch budget.
+ */
+class PreambleDetector
+{
+  public:
+    PreambleDetector(BitString pattern, int max_mismatches);
+
+    /** Feed one decoded bit; true when the preamble just matched. */
+    bool push(std::uint8_t bit);
+
+    /** Mismatch count of the window that produced the last lock. */
+    int lastMismatches() const { return lastMismatches_; }
+
+    /** Forget the window (e.g. after consuming a frame). */
+    void reset();
+
+  private:
+    BitString pattern_;
+    BitString window_;      //!< ring buffer of the last N bits
+    std::size_t head_ = 0;  //!< next write position in window_
+    std::size_t seen_ = 0;  //!< bits pushed since reset
+    int maxMismatches_;
+    int lastMismatches_ = 0;
+};
+
+} // namespace csim
+
+#endif // COHERSIM_PHY_PREAMBLE_HH

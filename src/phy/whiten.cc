@@ -1,0 +1,14 @@
+#include "phy/whiten.hh"
+
+namespace csim
+{
+
+void
+whitenBits(BitString &bits, std::uint16_t seed)
+{
+    Pn9 pn(seed);
+    for (std::uint8_t &b : bits)
+        b = static_cast<std::uint8_t>((b ^ pn.next()) & 1);
+}
+
+} // namespace csim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Data whitening: XOR the frame body with a PN9 pseudo-noise
+ * sequence so long runs of identical payload bits still produce a
+ * balanced wire stream. The operation is involutive — whitening and
+ * dewhitening are the same call — and the generator restarts per
+ * frame (seeded by the frame sequence number), so a lost frame never
+ * desynchronizes the next one.
+ */
+
+#ifndef COHERSIM_PHY_WHITEN_HH
+#define COHERSIM_PHY_WHITEN_HH
+
+#include <cstdint>
+
+#include "common/bit_string.hh"
+
+namespace csim
+{
+
+/**
+ * 9-bit LFSR (x^9 + x^5 + 1, the CC1101/LoRa PN9 polynomial)
+ * producing one whitening bit per step.
+ */
+class Pn9
+{
+  public:
+    /** @param seed initial register state; 0 is mapped to all-ones. */
+    explicit Pn9(std::uint16_t seed = 0x1ff)
+        : state_(seed & 0x1ff ? static_cast<std::uint16_t>(seed & 0x1ff)
+                              : std::uint16_t{0x1ff})
+    {
+    }
+
+    /** Next whitening bit (the register's LSB before shifting). */
+    std::uint8_t
+    next()
+    {
+        const std::uint8_t out = state_ & 1;
+        const std::uint16_t fb =
+            ((state_ >> 0) ^ (state_ >> 5)) & 1;
+        state_ = static_cast<std::uint16_t>((state_ >> 1) |
+                                            (fb << 8));
+        return out;
+    }
+
+  private:
+    std::uint16_t state_;
+};
+
+/** XOR @p bits in place with the PN9 stream started from @p seed. */
+void whitenBits(BitString &bits, std::uint16_t seed);
+
+} // namespace csim
+
+#endif // COHERSIM_PHY_WHITEN_HH

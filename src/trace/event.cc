@@ -72,6 +72,14 @@ traceTypeName(TraceEventType t)
       case TraceEventType::chSyncSlip: return "ch.sync_slip";
       case TraceEventType::chRetransmitExhausted:
         return "ch.retransmit_exhausted";
+      case TraceEventType::chPhyAdapt: return "ch.phy_adapt";
+      case TraceEventType::chPhyPreambleLock:
+        return "ch.phy_preamble_lock";
+      case TraceEventType::chPhyHeaderBad: return "ch.phy_header_bad";
+      case TraceEventType::chPhyFecCorrected:
+        return "ch.phy_fec_corrected";
+      case TraceEventType::chPhyFecBad: return "ch.phy_fec_bad";
+      case TraceEventType::chPhyFrame: return "ch.phy_frame";
       case TraceEventType::numTypes: break;
     }
     return "?";

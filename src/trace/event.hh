@@ -117,6 +117,15 @@ enum class TraceEventType : std::uint8_t
     chSyncSlip,          //!< a = consecutive out-of-band samples
     chRetransmitExhausted,  //!< a = retries spent on the packet
     /** @} */
+    /** @name channel PHY stack (src/phy) */
+    /** @{ */
+    chPhyAdapt,          //!< a = chosen profile, b = rate (Kbps)
+    chPhyPreambleLock,   //!< a = mismatches in the matched window
+    chPhyHeaderBad,      //!< a = headers rejected so far
+    chPhyFecCorrected,   //!< a = corrected codewords, b = frame seq
+    chPhyFecBad,         //!< a = uncorrectable codewords, b = seq
+    chPhyFrame,          //!< a = frame seq, b = 1 if accepted
+    /** @} */
     numTypes,
 };
 

@@ -444,6 +444,62 @@ TEST(Presets, MitigationPresetsSetDefense)
     }
 }
 
+TEST(FieldRegistry, PhyFieldsResolveWithDocsAndAliases)
+{
+    const FieldRegistry &reg = FieldRegistry::instance();
+    // Every phy.* knob is registered with a non-empty doc line.
+    for (const char *name :
+         {"phy.profile", "phy.interleaver_depth",
+          "phy.preamble_len", "phy.whiten", "phy.adaptive",
+          "phy.frame_nibbles"}) {
+        const FieldDef *f = reg.find(name);
+        ASSERT_NE(f, nullptr) << name;
+        EXPECT_FALSE(std::string(f->doc).empty()) << name;
+    }
+    // The short aliases route to the same definitions.
+    EXPECT_EQ(reg.find("profile"), reg.find("phy.profile"));
+    EXPECT_EQ(reg.find("adaptive"), reg.find("phy.adaptive"));
+
+    ConfigResolver res;
+    res.applyOverride("phy.profile", "hamming-soft", "cli");
+    res.applyOverride("phy.interleaver_depth", "4", "cli");
+    EXPECT_EQ(res.spec().channel.phy.profile,
+              PhyProfile::hammingSoft);
+    EXPECT_EQ(res.spec().channel.phy.interleaverDepth, 4);
+    EXPECT_THROW(
+        res.applyOverride("phy.profile", "turbo-code", "cli"),
+        ConfigError);
+    EXPECT_THROW(
+        res.applyOverride("phy.interleaver_depth", "0", "cli"),
+        ConfigError);
+}
+
+TEST(FieldRegistry, PhyTypoGetsDidYouMeanHint)
+{
+    ConfigResolver res;
+    try {
+        res.applyOverride("phy.profil", "hamming-soft", "cli");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown config key 'phy.profil'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("phy.profile"), std::string::npos);
+    }
+}
+
+TEST(Presets, PhyQuickSelectsTheSoftStack)
+{
+    const Preset *p = findPreset("phy-quick");
+    ASSERT_NE(p, nullptr);
+    ExperimentSpec spec;
+    applyPreset(spec, *p);
+    EXPECT_EQ(spec.channel.phy.profile, PhyProfile::hammingSoft);
+    EXPECT_EQ(spec.channel.scenario, Scenario::rexcC_lshB);
+    EXPECT_GT(spec.rateKbps, 0.0);
+    EXPECT_GT(spec.payload.bits, 0);
+}
+
 TEST(Presets, ProtocolMatrixMatchesAblationBench)
 {
     const std::vector<const Preset *> protos =

@@ -223,6 +223,52 @@ TEST(FleetRun, ScenarioMixCyclesOverPairs)
     EXPECT_EQ(rep.pairs[2].scenario, cfg.scenarioMix[0]);
 }
 
+TEST(FleetRun, LayersMachineGlobalMitigationPresets)
+{
+    // PR 6 refused machine-global software defences on fleet runs;
+    // a multi-tenant defence study needs them. A mitigation-* preset
+    // layered over the fleet preset deploys the defence once, for
+    // the whole host.
+    const auto fleet = [](const char *mitigation) {
+        ConfigResolver res;
+        res.applyPreset("fleet-quick");
+        if (mitigation)
+            res.applyPreset(mitigation);
+        ExperimentSpec spec = res.spec();
+        spec.fleet.pairs = 2;
+        spec.fleet.noiseAgents = 0;
+        spec.payload.bits = 32;
+        return spec.toFleetConfig();
+    };
+    const FleetReport open = runFleet(fleet(nullptr));
+    const FleetReport noisy =
+        runFleet(fleet("mitigation-targeted-noise"));
+    const FleetReport guarded =
+        runFleet(fleet("mitigation-ksm-guard"));
+    ASSERT_EQ(open.pairs.size(), 2u);
+    ASSERT_EQ(noisy.pairs.size(), 2u);
+    ASSERT_EQ(guarded.pairs.size(), 2u);
+
+    // The monitor round-robins over *every* pair's shared line; it
+    // must not improve anyone's channel.
+    double open_acc = 0.0, noisy_acc = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        open_acc += open.pairs[i].metrics.accuracy;
+        noisy_acc += noisy.pairs[i].metrics.accuracy;
+    }
+    EXPECT_LE(noisy_acc, open_acc + 1e-9);
+
+    // Defended fleets stay deterministic like every other path.
+    const FleetReport again =
+        runFleet(fleet("mitigation-targeted-noise"));
+    ASSERT_EQ(again.pairs.size(), noisy.pairs.size());
+    for (std::size_t i = 0; i < noisy.pairs.size(); ++i) {
+        EXPECT_EQ(again.pairs[i].received, noisy.pairs[i].received);
+        EXPECT_EQ(again.pairs[i].metrics.accuracy,
+                  noisy.pairs[i].metrics.accuracy);
+    }
+}
+
 TEST(ConfigFleet, RejectsMalformedScenarioMix)
 {
     ConfigResolver res;

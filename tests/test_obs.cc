@@ -357,10 +357,11 @@ TEST(RunHealthMonitor, BandsPopulatedAndAssessed)
     ASSERT_NE(budget, nullptr);
     std::int64_t attributed = 0;
     for (int c = 0; c < numErrorCauses; ++c) {
-        attributed += budget
-                          ->find(errorCauseName(
-                              static_cast<ErrorCause>(c)))
-                          ->asInt();
+        // PHY-only causes are zero-suppressed on legacy-profile runs.
+        const Json *n = budget->find(
+            errorCauseName(static_cast<ErrorCause>(c)));
+        if (n != nullptr)
+            attributed += n->asInt();
     }
     EXPECT_EQ(attributed, budget->find("total")->asInt());
 

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Tests for the PHY channel stack (src/phy): codecs exhaustively,
+ * the synchronization/soft-decision stages under seeded noise, and
+ * the end-to-end FEC session against the live simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "channel/channel.hh"
+#include "common/random.hh"
+#include "detect/cchunter.hh"
+#include "phy/adaptive.hh"
+#include "phy/frame.hh"
+#include "phy/hamming.hh"
+#include "phy/interleave.hh"
+#include "phy/phy_channel.hh"
+#include "phy/preamble.hh"
+#include "phy/soft.hh"
+#include "phy/whiten.hh"
+#include "runner/runner.hh"
+
+namespace csim
+{
+namespace
+{
+
+ChannelConfig
+baseConfig()
+{
+    ChannelConfig cfg;
+    cfg.system.seed = 424242;
+    cfg.scenario = Scenario::rshC_lshB;
+    cfg.phy.profile = PhyProfile::hammingSoft;
+    return cfg;
+}
+
+const CalibrationResult &
+sharedCal()
+{
+    static const CalibrationResult cal = [] {
+        return calibrate(baseConfig().system, 400,
+                         baseConfig().params);
+    }();
+    return cal;
+}
+
+// ---------------------------------------------------------------- FEC
+
+TEST(Hamming74, ExhaustiveSingleBitCorrection)
+{
+    for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+        const BitString code = hammingEncode74(nibble);
+        ASSERT_EQ(code.size(), 7u);
+        FecOutcome outcome;
+        EXPECT_EQ(hammingDecode74(code, &outcome), nibble);
+        EXPECT_EQ(outcome, FecOutcome::clean);
+        for (std::size_t flip = 0; flip < 7; ++flip) {
+            BitString bad = code;
+            bad[flip] ^= 1;
+            EXPECT_EQ(hammingDecode74(bad, &outcome), nibble)
+                << "nibble " << int(nibble) << " flip " << flip;
+            EXPECT_EQ(outcome, FecOutcome::corrected);
+        }
+    }
+}
+
+TEST(Hamming74, MinimumDistanceIsThree)
+{
+    for (int a = 0; a < 16; ++a) {
+        for (int b = a + 1; b < 16; ++b) {
+            const BitString ca =
+                hammingEncode74(static_cast<std::uint8_t>(a));
+            const BitString cb =
+                hammingEncode74(static_cast<std::uint8_t>(b));
+            int dist = 0;
+            for (std::size_t i = 0; i < 7; ++i)
+                dist += ca[i] != cb[i];
+            EXPECT_GE(dist, 3) << a << " vs " << b;
+        }
+    }
+}
+
+TEST(Hamming84, ExhaustiveCorrectAndDetect)
+{
+    for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+        const BitString code = hammingEncode84(nibble);
+        ASSERT_EQ(code.size(), hammingCodeBits);
+        FecOutcome outcome;
+        const auto clean = hammingDecode84(code, &outcome);
+        ASSERT_TRUE(clean.has_value());
+        EXPECT_EQ(*clean, nibble);
+        EXPECT_EQ(outcome, FecOutcome::clean);
+
+        // Every single-bit error corrects.
+        for (std::size_t f = 0; f < hammingCodeBits; ++f) {
+            BitString bad = code;
+            bad[f] ^= 1;
+            const auto got = hammingDecode84(bad, &outcome);
+            ASSERT_TRUE(got.has_value())
+                << "nibble " << int(nibble) << " flip " << f;
+            EXPECT_EQ(*got, nibble);
+            EXPECT_EQ(outcome, FecOutcome::corrected);
+        }
+        // Every double-bit error is detected, never miscorrected.
+        for (std::size_t f = 0; f < hammingCodeBits; ++f) {
+            for (std::size_t g = f + 1; g < hammingCodeBits; ++g) {
+                BitString bad = code;
+                bad[f] ^= 1;
+                bad[g] ^= 1;
+                EXPECT_FALSE(
+                    hammingDecode84(bad, &outcome).has_value())
+                    << "nibble " << int(nibble) << " flips " << f
+                    << "," << g;
+                EXPECT_EQ(outcome, FecOutcome::uncorrectable);
+            }
+        }
+    }
+}
+
+TEST(HammingSoft, MatchesHardOnCleanWords)
+{
+    std::vector<SoftBit> soft(hammingCodeBits);
+    for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+        const BitString code = hammingEncode84(nibble);
+        for (std::size_t i = 0; i < hammingCodeBits; ++i)
+            soft[i] = SoftBit{code[i], 1.0};
+        FecOutcome outcome;
+        EXPECT_EQ(hammingDecodeSoft(soft.data(), &outcome), nibble);
+        EXPECT_EQ(outcome, FecOutcome::clean);
+    }
+}
+
+TEST(HammingSoft, ConfidenceRecoversDoubleErrors)
+{
+    // Two flipped bits defeat hard SECDED decoding, but when both
+    // flips carry near-zero confidence the ML decoder leans on the
+    // six trustworthy bits and recovers the nibble — the soft
+    // profile's whole reason to exist.
+    for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+        const BitString code = hammingEncode84(nibble);
+        std::vector<SoftBit> soft(hammingCodeBits);
+        for (std::size_t i = 0; i < hammingCodeBits; ++i)
+            soft[i] = SoftBit{code[i], 0.9};
+        soft[1].bit ^= 1;
+        soft[1].confidence = 0.05;
+        soft[6].bit ^= 1;
+        soft[6].confidence = 0.05;
+        FecOutcome outcome;
+        EXPECT_EQ(hammingDecodeSoft(soft.data(), &outcome), nibble);
+        EXPECT_EQ(outcome, FecOutcome::corrected);
+
+        BitString hard(hammingCodeBits);
+        for (std::size_t i = 0; i < hammingCodeBits; ++i)
+            hard[i] = soft[i].bit;
+        EXPECT_FALSE(hammingDecode84(hard).has_value());
+    }
+}
+
+// ------------------------------------------------- whitener/interleaver
+
+TEST(Whitener, RoundTripsAndDecorrelates)
+{
+    Rng rng(17);
+    BitString bits = randomBits(rng, 257);
+    const BitString orig = bits;
+    whitenBits(bits, 0x155);
+    EXPECT_NE(bits, orig);  // astronomically unlikely to collide
+    whitenBits(bits, 0x155);
+    EXPECT_EQ(bits, orig);
+
+    // Distinct seeds produce distinct masks.
+    BitString a = orig, b = orig;
+    whitenBits(a, 0x101);
+    whitenBits(b, 0x102);
+    EXPECT_NE(a, b);
+}
+
+TEST(Whitener, BreaksUpConstantRuns)
+{
+    // The wire format's motivation: a long all-zero payload must not
+    // serialize as a long constant run.
+    BitString zeros(128, 0);
+    whitenBits(zeros, 0x1ff);
+    const std::size_t ones = static_cast<std::size_t>(
+        std::count(zeros.begin(), zeros.end(), 1));
+    EXPECT_GT(ones, 40u);
+    EXPECT_LT(ones, 90u);
+}
+
+TEST(Interleaver, PermutationRoundTrip)
+{
+    for (const int depth : {1, 4, 8}) {
+        for (const std::size_t n : {8u, 64u, 256u}) {
+            const auto perm = interleavePermutation(n, depth);
+            std::set<std::size_t> seen(perm.begin(), perm.end());
+            EXPECT_EQ(seen.size(), n);
+
+            Rng rng(1000 + depth);
+            const BitString orig = randomBits(rng, n);
+            const BitString inter = interleaveBits(orig, depth);
+            EXPECT_EQ(deinterleaveBits(inter, depth), orig);
+            if (depth == 1) {
+                EXPECT_EQ(inter, orig);
+            }
+        }
+    }
+}
+
+TEST(Interleaver, BurstLandsInDistinctCodewords)
+{
+    // A burst of `depth` consecutive wire-bit errors must hit every
+    // codeword at most once, i.e. stay within SECDED capacity.
+    constexpr int depth = 8;
+    constexpr std::size_t nibbles = 16;
+    const std::size_t n = nibbles * hammingCodeBits;
+    const auto perm = interleavePermutation(n, depth);
+    for (std::size_t start = 0; start + depth <= n; ++start) {
+        std::set<std::size_t> words;
+        for (std::size_t k = start;
+             k < start + static_cast<std::size_t>(depth); ++k) {
+            words.insert(perm[k] / hammingCodeBits);
+        }
+        EXPECT_EQ(words.size(), static_cast<std::size_t>(depth))
+            << "burst at " << start;
+    }
+}
+
+// ------------------------------------------------------------ preamble
+
+TEST(Preamble, DetectsWithinMismatchBudget)
+{
+    const BitString pattern = preamblePattern(16);
+    ASSERT_EQ(pattern.size(), 16u);
+    PreambleDetector det(pattern, preambleMismatchBudget(16));
+
+    // Clean pattern locks on its last bit.
+    bool locked = false;
+    for (const std::uint8_t b : pattern)
+        locked = det.push(b);
+    EXPECT_TRUE(locked);
+    EXPECT_EQ(det.lastMismatches(), 0);
+
+    // Budget-many flips still lock; one more does not.
+    const int budget = preambleMismatchBudget(16);
+    ASSERT_GE(budget, 1);
+    for (const int flips : {budget, budget + 1}) {
+        PreambleDetector d(pattern, budget);
+        BitString noisy = pattern;
+        for (int f = 0; f < flips; ++f)
+            noisy[static_cast<std::size_t>(3 + 5 * f) % 16] ^= 1;
+        bool got = false;
+        for (const std::uint8_t b : noisy)
+            got = d.push(b);
+        EXPECT_EQ(got, flips <= budget) << flips << " flips";
+    }
+}
+
+TEST(Preamble, RareFalseLocksOnRandomBits)
+{
+    // Random bit streams must almost never correlate: the budget is
+    // len/8, i.e. 2 mismatches in 16 bits, P ~ (1+16+120)/65536.
+    const BitString pattern = preamblePattern(16);
+    Rng rng(99);
+    constexpr int n = 20'000;
+    PreambleDetector det(pattern, preambleMismatchBudget(16));
+    int locks = 0;
+    for (int i = 0; i < n; ++i) {
+        if (det.push(static_cast<std::uint8_t>(rng.below(2))))
+            ++locks;
+    }
+    EXPECT_LT(locks, n / 250);
+}
+
+// --------------------------------------------------------- frame codec
+
+TEST(FrameCodec, RoundTripsThroughPerfectWire)
+{
+    PhyConfig cfg;
+    cfg.profile = PhyProfile::hammingSoft;
+    Rng rng(7);
+    const BitString chunk = randomBits(rng, 128);
+    const BitString wire = phyEncodeFrame(9, chunk, cfg);
+    ASSERT_EQ(wire.size(), static_cast<std::size_t>(cfg.preambleLen) +
+                               phyHeaderWireBits + chunk.size() * 2);
+
+    // Preamble, header, body — exactly as the spy consumes them.
+    const BitString header(
+        wire.begin() + cfg.preambleLen,
+        wire.begin() + cfg.preambleLen +
+            static_cast<std::ptrdiff_t>(phyHeaderWireBits));
+    const auto hdr = phyDecodeHeader(header, cfg);
+    ASSERT_TRUE(hdr.has_value());
+    EXPECT_EQ(hdr->seq, 9);
+    EXPECT_EQ(hdr->nibbles, 32);
+
+    std::vector<SoftBit> body;
+    for (std::size_t i =
+             static_cast<std::size_t>(cfg.preambleLen) +
+             phyHeaderWireBits;
+         i < wire.size(); ++i) {
+        body.push_back(SoftBit{wire[i], 1.0});
+    }
+    const PhyBodyResult res = phyDecodeBody(body, *hdr, cfg);
+    EXPECT_EQ(res.bits, chunk);
+    EXPECT_EQ(res.blocks, 32);
+    EXPECT_EQ(res.corrected, 0);
+    EXPECT_EQ(res.uncorrectable, 0);
+}
+
+TEST(FrameCodec, CorrectsScatteredAndBurstErrors)
+{
+    for (const bool soft : {false, true}) {
+        PhyConfig cfg;
+        cfg.profile =
+            soft ? PhyProfile::hammingSoft : PhyProfile::hammingHard;
+        Rng rng(soft ? 21 : 20);
+        const BitString chunk = randomBits(rng, 128);
+        BitString wire = phyEncodeFrame(3, chunk, cfg);
+
+        const std::size_t body_off =
+            static_cast<std::size_t>(cfg.preambleLen) +
+            phyHeaderWireBits;
+        // An interleaver-depth burst plus two scattered flips in
+        // other codewords: all within single-error capacity. With
+        // depth 8 and 32 codewords, wire position k lands in
+        // codeword k mod 32 — the burst at 64 covers codewords 0-7,
+        // the scattered flips hit 9 and 8.
+        for (std::size_t k = 0;
+             k < static_cast<std::size_t>(cfg.interleaverDepth); ++k)
+            wire[body_off + 64 + k] ^= 1;
+        wire[body_off + 9] ^= 1;
+        wire[body_off + 200] ^= 1;
+
+        const auto hdr = phyDecodeHeader(
+            BitString(wire.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              cfg.preambleLen),
+                      wire.begin() +
+                          static_cast<std::ptrdiff_t>(body_off)),
+            cfg);
+        ASSERT_TRUE(hdr.has_value());
+        std::vector<SoftBit> body;
+        for (std::size_t i = body_off; i < wire.size(); ++i)
+            body.push_back(SoftBit{wire[i], 1.0});
+        const PhyBodyResult res = phyDecodeBody(body, *hdr, cfg);
+        EXPECT_EQ(res.bits, chunk) << (soft ? "soft" : "hard");
+        EXPECT_EQ(res.corrected, cfg.interleaverDepth + 2);
+        EXPECT_EQ(res.uncorrectable, 0);
+    }
+}
+
+// ------------------------------------------------------------ adaptive
+
+TEST(Adaptive, DeterministicAndSeparationDriven)
+{
+    const CalibrationResult &cal = sharedCal();
+    const ScenarioInfo &sc = scenarioInfo(Scenario::rshC_lshB);
+
+    const AdaptiveDecision quiet =
+        phyChooseOperatingPoint(cal, sc, 0);
+    const AdaptiveDecision again =
+        phyChooseOperatingPoint(cal, sc, 0);
+    EXPECT_EQ(quiet.profile, again.profile);
+    EXPECT_EQ(quiet.rateKbps, again.rateKbps);
+    EXPECT_GT(quiet.rateKbps, 0.0);
+    EXPECT_GT(quiet.separation, 0.0);
+
+    // Expected co-tenant noise must never pick a faster point, and
+    // must abandon the hard profile once noise is expected.
+    const AdaptiveDecision noisy =
+        phyChooseOperatingPoint(cal, sc, 4);
+    EXPECT_LE(noisy.rateKbps, quiet.rateKbps);
+    EXPECT_EQ(noisy.profile, PhyProfile::hammingSoft);
+}
+
+// --------------------------------------------------------- end to end
+
+TEST(PhyEndToEnd, SoftProfileDeliversCleanPayload)
+{
+    ChannelConfig cfg = baseConfig();
+    cfg.params =
+        ChannelParams::forTargetKbps(500, cfg.system.timing);
+    Rng rng(5);
+    const BitString payload = randomBits(rng, 256);
+    cfg.timeout = cfg.deriveTimeout(payload.size() * 3);
+
+    const PhyReport rep =
+        runPhyTransmission(cfg, payload, &sharedCal());
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.residualErrors, 0u);
+    EXPECT_EQ(rep.delivered, payload);
+    EXPECT_EQ(rep.frames, 2);
+    EXPECT_EQ(rep.stages.framesAccepted, 2u);
+    EXPECT_GT(rep.rawBitsSent, payload.size() * 2);
+    EXPECT_GT(rep.effectiveKbps, 0.0);
+    // Clean delivery: goodput equals the effective rate.
+    EXPECT_DOUBLE_EQ(rep.payloadKbps, rep.effectiveKbps);
+}
+
+TEST(PhyEndToEnd, DispatchesThroughRunCovertTransmission)
+{
+    ChannelConfig cfg = baseConfig();
+    cfg.params =
+        ChannelParams::forTargetKbps(500, cfg.system.timing);
+    Rng rng(6);
+    const BitString payload = randomBits(rng, 128);
+    cfg.timeout = cfg.deriveTimeout(payload.size() * 3);
+
+    const ChannelReport rep =
+        runCovertTransmission(cfg, payload, &sharedCal());
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.received, payload);
+    EXPECT_DOUBLE_EQ(rep.metrics.accuracy, 1.0);
+    // The wire rate must expose the FEC expansion: raw > effective.
+    EXPECT_GT(rep.metrics.rawKbps, rep.metrics.effectiveKbps);
+    EXPECT_DOUBLE_EQ(rep.metrics.payloadKbps,
+                     rep.metrics.effectiveKbps);
+    EXPECT_GT(rep.counters.value("ch.phy.frames_sent"), 0);
+    EXPECT_GT(rep.counters.value("ch.phy.preamble_locks"), 0);
+}
+
+TEST(PhyEndToEnd, AdaptiveModePicksAnOperatingPoint)
+{
+    ChannelConfig cfg = baseConfig();
+    cfg.phy.adaptive = true;
+    Rng rng(8);
+    const BitString payload = randomBits(rng, 128);
+    cfg.timeout = cfg.deriveTimeout(payload.size() * 3);
+
+    const PhyReport rep =
+        runPhyTransmission(cfg, payload, &sharedCal());
+    EXPECT_TRUE(rep.completed);
+    EXPECT_GT(rep.rateKbps, 0.0);
+    EXPECT_NE(rep.bandSeparation, 0.0);
+    EXPECT_EQ(rep.residualErrors, 0u);
+}
+
+TEST(PhyEndToEnd, BitIdenticalAcrossWorkerCounts)
+{
+    // The acceptance property, phy edition: a profile sweep yields
+    // bit-identical results at any worker count.
+    ChannelConfig base = baseConfig();
+    Rng rng(9);
+    const BitString payload = randomBits(rng, 128);
+
+    struct Cell
+    {
+        std::string delivered;
+        std::uint64_t residual = 0;
+        Tick duration = 0;
+        std::uint64_t corrected = 0;
+    };
+    auto sweep = [&](int workers) {
+        std::vector<std::function<Cell()>> jobs;
+        for (const PhyProfile profile :
+             {PhyProfile::hammingHard, PhyProfile::hammingSoft}) {
+            for (const double rate : {400.0, 550.0}) {
+                jobs.push_back([&, profile, rate] {
+                    ChannelConfig cfg = base;
+                    cfg.phy.profile = profile;
+                    cfg.params = ChannelParams::forTargetKbps(
+                        rate, cfg.system.timing);
+                    cfg.timeout =
+                        cfg.deriveTimeout(payload.size() * 3);
+                    const PhyReport rep = runPhyTransmission(
+                        cfg, payload, &sharedCal());
+                    return Cell{bitsToString(rep.delivered),
+                                rep.residualErrors,
+                                rep.durationCycles,
+                                rep.stages.fecCorrected};
+                });
+            }
+        }
+        RunnerOptions opts;
+        opts.jobs = workers;
+        return runJobs(std::move(jobs), opts);
+    };
+
+    const auto seq = sweep(1);
+    const auto par4 = sweep(4);
+    const auto par8 = sweep(8);
+    ASSERT_EQ(seq.size(), par4.size());
+    ASSERT_EQ(seq.size(), par8.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].delivered, par4[i].delivered) << i;
+        EXPECT_EQ(seq[i].delivered, par8[i].delivered) << i;
+        EXPECT_EQ(seq[i].residual, par8[i].residual) << i;
+        EXPECT_EQ(seq[i].duration, par8[i].duration) << i;
+        EXPECT_EQ(seq[i].corrected, par8[i].corrected) << i;
+    }
+}
+
+TEST(PhyEndToEnd, CcHunterStillFlagsFecTraffic)
+{
+    // FEC re-shapes the wire stream (whitening kills long constant
+    // runs) but the carrier is still a periodic flush+reload train —
+    // CC-Hunter must keep flagging it.
+    ChannelConfig cfg = baseConfig();
+    cfg.params =
+        ChannelParams::forTargetKbps(500, cfg.system.timing);
+    Rng rng(11);
+    const BitString payload = randomBits(rng, 192);
+    cfg.timeout = cfg.deriveTimeout(payload.size() * 3);
+
+    PhySession session;
+    phyPrepareSession(session, cfg, payload, sharedCal());
+    ExperimentRig rig(cfg, session.scenario->localLoaders,
+                      session.scenario->remoteLoaders,
+                      session.scenario->csc);
+    CoherenceChannelDetector detector;
+    detector.attach(rig.machine.mem.trace());
+
+    rig.machine.kernel.spawnThread(
+        rig.machine.sched, "trojan.ctl", rig.plan.controller,
+        *rig.trojanProc, [&](ThreadApi api) {
+            return phyTrojanBody(api, *rig.crew,
+                                 rig.shared.trojanVa, session);
+        });
+    SimThread *spy_thread = rig.machine.kernel.spawnThread(
+        rig.machine.sched, "spy", rig.plan.spy, *rig.spyProc,
+        [&](ThreadApi api) {
+            return phySpyBody(api, rig.shared.spyVa, session);
+        });
+    rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
+    rig.crew->stopAll();
+
+    EXPECT_TRUE(spy_thread->finished);
+    EXPECT_TRUE(detector.anySuspicious());
+    const LineVerdict v =
+        detector.verdict(lineAlign(rig.shared.paddr));
+    EXPECT_TRUE(v.suspicious);
+    EXPECT_LT(v.flaggedAt, session.trojanEnd);
+}
+
+} // namespace
+} // namespace csim

@@ -126,6 +126,26 @@ else
     settle fleet_quick "$out"
 fi
 
+# The PHY channel stack is seeded and deterministic too: pin the
+# phy-quick CLI transmit (hamming-soft end to end) and the quick
+# parity-vs-FEC comparison (its BENCH_phy.json must be bit-identical
+# at any --jobs; the tests exercise other worker counts, this gate
+# pins the content).
+out="$scratch/phy_quick"
+mkdir -p "$out"
+(cd "$out" && "$cli" transmit --preset phy-quick \
+    > stdout.raw 2>&1 \
+    && "$bench_dir/phy_comparison" --quick --jobs 1 --quiet \
+    > bench_stdout.raw 2>&1)
+if [ $? -ne 0 ]; then
+    echo "check_golden: phy_quick FAILED to run" >&2
+    status=1
+else
+    mv "$out/stdout.raw" "$out/stdout.txt"
+    mv "$out/bench_stdout.raw" "$out/bench_stdout.txt"
+    settle phy_quick "$out"
+fi
+
 if [ "$refresh" -eq 1 ]; then
     echo "check_golden: goldens written to $golden_dir"
 elif [ "$status" -eq 0 ]; then

@@ -192,11 +192,38 @@ printProvenance(const ConfigResolver &res)
 void
 printFields()
 {
-    TablePrinter table;
-    table.header({"field", "type", "default", "accepts", "doc"});
+    // One table per field-name prefix, in registry order: the
+    // registry lays fields out section by section already.
+    static const std::map<std::string, std::string> sections = {
+        {"system", "System"},     {"channel", "Channel"},
+        {"phy", "PHY"},           {"noise", "Noise workload"},
+        {"payload", "Payload"},   {"sweep", "Sweep"},
+        {"fleet", "Fleet"},       {"obs", "Observability"},
+    };
     const FieldRegistry &reg = FieldRegistry::instance();
     const ExperimentSpec defaults;
+    std::string current;
+    TablePrinter table;
+    const auto flush = [&] {
+        if (!current.empty()) {
+            table.print(std::cout);
+            std::cout << "\n";
+            table = TablePrinter();
+        }
+    };
     for (const FieldDef &f : reg.fields()) {
+        const std::string prefix =
+            f.name.substr(0, f.name.find('.'));
+        if (prefix != current) {
+            flush();
+            current = prefix;
+            const auto it = sections.find(prefix);
+            std::cout << (it != sections.end() ? it->second
+                                               : prefix)
+                      << " fields:\n";
+            table.header(
+                {"field", "type", "default", "accepts", "doc"});
+        }
         std::string accepts;
         if (f.type == FieldDef::Type::integer ||
             f.type == FieldDef::Type::real) {
@@ -212,7 +239,7 @@ printFields()
         table.row({name, fieldTypeName(f.type),
                    f.format(f.get(defaults)), accepts, f.doc});
     }
-    table.print(std::cout);
+    flush();
 }
 
 int
@@ -443,8 +470,28 @@ cmdTransmit(const Args &args)
               << TablePrinter::num(rep.metrics.rawKbps)
               << " Kbps raw, "
               << TablePrinter::num(rep.metrics.effectiveKbps)
-              << " Kbps effective\n"
-              << "completed: " << (rep.completed ? "yes" : "NO")
+              << " Kbps effective, "
+              << TablePrinter::num(rep.metrics.payloadKbps)
+              << " Kbps payload\n";
+    if (cfg.phy.profile != PhyProfile::legacyParity ||
+        cfg.phy.adaptive) {
+        const auto ran = static_cast<PhyProfile>(
+            rep.counters.value("ch.phy.profile"));
+        std::cout << "phy:       " << phyProfileName(ran);
+        if (cfg.phy.adaptive)
+            std::cout << " (adaptive @ "
+                      << rep.counters.value("ch.phy.adapt_rate_kbps")
+                      << " Kbps)";
+        std::cout << ", "
+                  << rep.counters.value("ch.phy.frames_accepted")
+                  << "/" << rep.counters.value("ch.phy.frames_sent")
+                  << " frames, fec "
+                  << rep.counters.value("ch.phy.fec_corrected")
+                  << " corrected / "
+                  << rep.counters.value("ch.phy.fec_uncorrectable")
+                  << " uncorrectable\n";
+    }
+    std::cout << "completed: " << (rep.completed ? "yes" : "NO")
               << "\n";
     return rep.completed ? 0 : 1;
 }
