@@ -1,6 +1,7 @@
 #include "channel/channel.hh"
 
 #include "common/logging.hh"
+#include "detect/cchunter.hh"
 #include "os/kernel.hh"
 #include "phy/phy_channel.hh"
 
@@ -154,6 +155,9 @@ ExperimentRig::ExperimentRig(const ChannelConfig &cfg, int n_local,
     taps_ = cfg.taps;
     for (BusTap *tap : taps_)
         tap->attach(machine.mem.trace(), cfg.system.numCores());
+    detector_ = cfg.detector;
+    if (detector_)
+        detector_->attach(machine.mem.trace());
     initProcesses();
     initShared(cfg, csc, cfg.system.seed ^ 0x6b5fca37);
     // Noise agents start first: the channel must operate against an
@@ -208,6 +212,8 @@ ExperimentRig::ExperimentRig(Machine &host, const ChannelConfig &cfg,
 
 ExperimentRig::~ExperimentRig()
 {
+    if (detector_)
+        detector_->detach();
     for (BusTap *tap : taps_)
         tap->detach();
     if (recorder_)

@@ -33,6 +33,8 @@
 namespace csim
 {
 
+class CoherenceChannelDetector;
+
 /**
  * Deployed defence against the channel (paper §VIII-E). The first two
  * are software techniques the experiment rig activates at runtime;
@@ -92,6 +94,15 @@ struct ChannelConfig
      * the rig and keep their accumulated state.
      */
     std::vector<BusTap *> taps;
+    /**
+     * CC-Hunter-style detector watching the run (detect/cchunter).
+     * Attached to the machine's trace bus alongside the recorder and
+     * detached when the rig dies; its verdicts stay readable
+     * afterwards. The defense matrix uses this to ask whether the
+     * detector still fires when a randomized cache degrades the
+     * channel itself.
+     */
+    CoherenceChannelDetector *detector = nullptr;
     /** Safety stop, in cycles (~300 ms of simulated time). */
     Tick timeout = 800'000'000ULL;
 
@@ -271,6 +282,7 @@ class ExperimentRig
 
     TraceRecorder *recorder_ = nullptr;
     std::vector<BusTap *> taps_;
+    CoherenceChannelDetector *detector_ = nullptr;
 };
 
 } // namespace csim

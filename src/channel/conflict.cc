@@ -1,0 +1,59 @@
+#include "channel/conflict.hh"
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+ConflictSet
+buildConflictSet(const MemorySystem &mem, SocketId socket,
+                 PAddr target, std::size_t count, PAddr search_base)
+{
+    const Cache &llc = mem.llcOf(socket);
+    ConflictSet out;
+    out.target = lineAlign(target);
+    out.socket = socket;
+    out.setIndex = llc.setIndex(out.target);
+    out.generation = mem.llcIndexGeneration();
+    out.lines.reserve(count);
+
+    // A surjective index over numSets sets hits the target set once
+    // per numSets lines on average; scan with slack for the keyed
+    // hashes, whose per-window hit counts fluctuate.
+    const std::uint64_t budget =
+        8ull * (count + 1) * llc.numSets();
+    PAddr addr = lineAlign(search_base);
+    for (std::uint64_t probed = 0;
+         out.lines.size() < count && probed < budget;
+         ++probed, addr += lineBytes) {
+        if (addr == out.target)
+            continue;
+        if (llc.setIndex(addr) == out.setIndex)
+            out.lines.push_back(addr);
+    }
+    fatal_if(out.lines.size() < count,
+             "conflict-set probe exhausted its scan budget: found ",
+             out.lines.size(), " of ", count,
+             " colliding lines for set ", out.setIndex);
+    return out;
+}
+
+double
+conflictFraction(const MemorySystem &mem, const ConflictSet &set)
+{
+    if (set.lines.empty())
+        return 0.0;
+    const Cache &llc = mem.llcOf(set.socket);
+    // The target itself may have moved sets: measure collisions
+    // against where it maps *now*.
+    const unsigned current = llc.setIndex(set.target);
+    std::size_t colliding = 0;
+    for (const PAddr addr : set.lines) {
+        if (llc.setIndex(addr) == current)
+            ++colliding;
+    }
+    return static_cast<double>(colliding) /
+           static_cast<double>(set.lines.size());
+}
+
+} // namespace csim

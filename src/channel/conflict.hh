@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LLC conflict-set discovery for eviction-based channel variants.
+ *
+ * A prime+probe or eviction-assisted attacker needs addresses that
+ * collide with the target in the LLC. The historical shortcut —
+ * stepping by the cache's set stride so same-set addresses are
+ * `setBytes` apart — is only correct for the linear index mapping.
+ * With a slice hash (xor-fold) or a randomized defense (remap /
+ * mirage) the set of a frame is whatever the configured
+ * IndexFunction says, so conflict sets MUST be built by probing
+ * Cache::setIndex on the actual machine.
+ *
+ * Randomized remapping additionally invalidates conflict sets over
+ * time: after a rekey, the lines of a previously valid set scatter
+ * over the whole LLC. Builders therefore record the index
+ * generation they probed under; users compare it against
+ * MemorySystem::llcIndexGeneration() and rebuild (or degrade
+ * gracefully) when it moved. conflictFraction() quantifies how much
+ * of a set still collides, for telemetry and tests.
+ */
+
+#ifndef COHERSIM_CHANNEL_CONFLICT_HH
+#define COHERSIM_CHANNEL_CONFLICT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/memory_system.hh"
+
+namespace csim
+{
+
+/** Addresses colliding with one target line in one socket's LLC. */
+struct ConflictSet
+{
+    /** Line-aligned target the set evicts. */
+    PAddr target = 0;
+    /** Socket whose LLC the set was probed against. */
+    SocketId socket = 0;
+    /** LLC set index the target mapped to at probe time. */
+    unsigned setIndex = 0;
+    /** Same-set line addresses, excluding the target itself. */
+    std::vector<PAddr> lines;
+    /** LLC index generation the probe ran under. */
+    std::uint64_t generation = 0;
+
+    /**
+     * True once the LLC index has been rekeyed since this set was
+     * probed: the lines no longer (all) collide with the target and
+     * the set should be rebuilt. Always false for static index
+     * functions, whose generation never moves.
+     */
+    bool
+    stale(const MemorySystem &mem) const
+    {
+        return generation != mem.llcIndexGeneration();
+    }
+};
+
+/**
+ * Probe @p mem's socket-@p socket LLC for @p count addresses that
+ * currently map to the same set as @p target, scanning line by line
+ * from @p search_base. Routes every membership test through
+ * Cache::setIndex — and hence through whatever IndexFunction the
+ * machine is configured with — instead of assuming a linear
+ * set-stride layout.
+ *
+ * Fails fatally only when the scan budget (a generous multiple of
+ * count * numSets) cannot find enough colliding lines, which cannot
+ * happen for any surjective index function.
+ */
+ConflictSet buildConflictSet(const MemorySystem &mem, SocketId socket,
+                             PAddr target, std::size_t count,
+                             PAddr search_base);
+
+/**
+ * Fraction of @p set's lines that still map to the same LLC set as
+ * its target, in [0, 1]. Exactly 1.0 while the probe generation is
+ * current; after a remap rekey it collapses to roughly
+ * assoc/numSets. The graceful-degradation contract for eviction
+ * users: a stale set stops conflicting but never faults.
+ */
+double conflictFraction(const MemorySystem &mem,
+                        const ConflictSet &set);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_CONFLICT_HH

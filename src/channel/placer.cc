@@ -24,6 +24,18 @@ placerHelperBody(ThreadApi api, HelperCtl *ctl, Tick gap, Tick poll)
             co_await api.load(ctl->addr);
             co_await api.spin(gap);
             break;
+          case HelperCtl::Mode::evict:
+            if (ctl->evictLines.empty()) {
+                co_await api.spin(poll);
+                break;
+            }
+            ++ctl->loadsIssued;
+            co_await api.load(
+                ctl->evictLines[ctl->evictPos %
+                                ctl->evictLines.size()]);
+            ++ctl->evictPos;
+            co_await api.spin(gap);
+            break;
           case HelperCtl::Mode::idle:
             co_await api.spin(poll);
             break;
@@ -84,6 +96,23 @@ PlacerCrew::activate(Combo c, VAddr addr)
             ctl.addr = addr;
             ctl.mode = HelperCtl::Mode::maintain;
         } else if (ctl.mode != HelperCtl::Mode::stop) {
+            ctl.mode = HelperCtl::Mode::idle;
+        }
+    }
+}
+
+void
+PlacerCrew::activateEvict(const std::vector<VAddr> &lines)
+{
+    for (std::size_t i = 0; i < ctls_.size(); ++i) {
+        HelperCtl &ctl = *ctls_[i];
+        if (ctl.mode == HelperCtl::Mode::stop)
+            continue;
+        if (i < nLocal_) {
+            ctl.evictLines = lines;
+            ctl.evictPos = i;  // stagger cursors across loaders
+            ctl.mode = HelperCtl::Mode::evict;
+        } else {
             ctl.mode = HelperCtl::Mode::idle;
         }
     }

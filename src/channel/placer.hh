@@ -34,12 +34,22 @@ struct HelperCtl
     {
         idle,      //!< spin, touching nothing
         maintain,  //!< re-load the target line in a loop
+        evict,     //!< walk evictLines, pressuring one LLC set
         stop,      //!< terminate the loader coroutine
     };
 
     Mode mode = Mode::idle;
     VAddr addr = 0;
-    /** Loads issued while maintaining, for tests. */
+    /**
+     * Eviction-mode working set: addresses conflicting with a target
+     * line (see channel/conflict.hh). The loader cycles through
+     * them, one load per gap, displacing whatever else lives in the
+     * set. Only read while mode == evict.
+     */
+    std::vector<VAddr> evictLines;
+    /** Next evictLines position (loader-private cursor). */
+    std::size_t evictPos = 0;
+    /** Loads issued while maintaining or evicting, for tests. */
     std::uint64_t loadsIssued = 0;
 };
 
@@ -79,6 +89,16 @@ class PlacerCrew
      * loaders next poll their control words.
      */
     void activate(Combo c, VAddr addr);
+
+    /**
+     * Switch the local loaders to eviction mode over @p lines (a
+     * conflict set discovered through the machine's index function);
+     * remote loaders go idle. The caller owns staleness handling: a
+     * remap rekey silently turns the walk into harmless background
+     * traffic until a fresh set is supplied — eviction pressure
+     * degrades, nothing faults.
+     */
+    void activateEvict(const std::vector<VAddr> &lines);
 
     /** All loaders idle (trojan goes quiet). */
     void idle();

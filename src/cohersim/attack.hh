@@ -17,6 +17,7 @@
 #include "channel/calibration.hh"
 #include "channel/channel.hh"
 #include "channel/combo.hh"
+#include "channel/conflict.hh"
 #include "channel/ecc.hh"
 #include "channel/fleet.hh"
 #include "channel/metrics.hh"

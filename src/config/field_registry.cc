@@ -440,8 +440,16 @@ FieldRegistry::FieldRegistry()
                    },
                    {"lookup"}));
     add(makeFlag("system.llc_inclusive",
-                 "inclusive LLC (vs snoop-filter directory)",
-                 ACCESS_BOOL(s.channel.system.llcInclusive)));
+                 "legacy switch: inclusive LLC (true) vs NINE "
+                 "(false); superseded by mem.inclusivity",
+                 [](const ExperimentSpec &s) -> FieldValue {
+                     return s.channel.system.llcInclusive();
+                 },
+                 [](ExperimentSpec &s, const FieldValue &v) {
+                     s.channel.system.inclusivity =
+                         std::get<bool>(v) ? Inclusivity::inclusive
+                                           : Inclusivity::nine;
+                 }));
     add(makeNumeric("system.seed", Type::integer, 0, big,
                     "seed for all simulator randomness",
                     ACCESS_INT(s.channel.system.seed), {"seed"}));
@@ -577,6 +585,64 @@ FieldRegistry::FieldRegistry()
         "mitigation 3: LLC serves E-state reads directly",
         ACCESS_BOOL(
             s.channel.system.timing.llcNotifiedOfUpgrade)));
+
+    // --- mem: pluggable hierarchy and randomized defenses ---------------
+    // Registered after system.* so mem.inclusivity wins over the
+    // legacy system.llc_inclusive alias on config round-trips.
+    add(makeChoice(
+        "mem.replacement", {"lru", "plru", "random", "srrip"},
+        "cache replacement policy, all levels",
+        [](const ExperimentSpec &s) -> FieldValue {
+            return std::string(
+                replPolicyName(s.channel.system.replacement));
+        },
+        [](ExperimentSpec &s, const FieldValue &v) {
+            const std::string &n = std::get<std::string>(v);
+            s.channel.system.replacement =
+                n == "plru"     ? ReplPolicy::plru
+                : n == "random" ? ReplPolicy::random
+                : n == "srrip"  ? ReplPolicy::srrip
+                                : ReplPolicy::lru;
+        },
+        {"replacement"}));
+    add(makeChoice(
+        "mem.inclusivity", {"inclusive", "nine", "exclusive"},
+        "LLC inclusion policy (inclusive / NINE / victim-cache "
+        "exclusive)",
+        [](const ExperimentSpec &s) -> FieldValue {
+            return std::string(
+                inclusivityName(s.channel.system.inclusivity));
+        },
+        [](ExperimentSpec &s, const FieldValue &v) {
+            const std::string &n = std::get<std::string>(v);
+            s.channel.system.inclusivity =
+                n == "nine"        ? Inclusivity::nine
+                : n == "exclusive" ? Inclusivity::exclusive
+                                   : Inclusivity::inclusive;
+        },
+        {"inclusivity"}));
+    add(makeChoice(
+        "mem.llc_index", {"linear", "xor-fold", "remap", "mirage"},
+        "LLC set index function (linear / slice hash / randomized "
+        "defenses)",
+        [](const ExperimentSpec &s) -> FieldValue {
+            return std::string(
+                indexFnName(s.channel.system.llcIndex));
+        },
+        [](ExperimentSpec &s, const FieldValue &v) {
+            const std::string &n = std::get<std::string>(v);
+            s.channel.system.llcIndex =
+                n == "xor-fold" ? IndexFn::xorFold
+                : n == "remap"  ? IndexFn::remap
+                : n == "mirage" ? IndexFn::mirage
+                                : IndexFn::linear;
+        },
+        {"llc_index", "index"}));
+    add(makeNumeric(
+        "mem.remap_period", Type::integer, 100, big,
+        "LLC-side operations between index rekeys (remap mode)",
+        ACCESS_INT(s.channel.system.remapPeriod),
+        {"remap_period"}));
 
     // --- channel: scenario and transmission setup ----------------------
     {

@@ -49,6 +49,27 @@ buildPresets()
          {{"channel.sharing", "ksm"},
           {"channel.defense", "llc-notify"}}});
 
+    // Randomized-cache defenses (beyond the paper): evaluated in the
+    // same KSM setting so the defense matrix compares like for like.
+    // The rekey period is deliberately aggressive (every 250
+    // LLC-side operations): a flush+reload channel only suffers
+    // when rekeys land *within* a transmission, and the quick-grid
+    // payloads are short. Real CEASER remaps far more slowly; the
+    // matrix models the strong end of the design space.
+    presets.push_back(
+        {"defense-remap",
+         "randomized defense: keyed LLC index with periodic rekey "
+         "(CEASER-style dynamic remapping)",
+         {{"channel.sharing", "ksm"},
+          {"mem.llc_index", "remap"},
+          {"mem.remap_period", "250"}}});
+    presets.push_back(
+        {"defense-mirage",
+         "randomized defense: MIRAGE-style keyed random placement "
+         "with random LLC eviction",
+         {{"channel.sharing", "ksm"},
+          {"mem.llc_index", "mirage"}}});
+
     // The protocol-flavor x lookup x inclusion matrix from
     // bench/ablation_protocols, in the bench's row order.
     presets.push_back({"proto-mesi-dir",

@@ -19,11 +19,16 @@ mesiName(Mesi m)
     return "?";
 }
 
-Cache::Cache(std::string name, const CacheGeometry &geom)
+Cache::Cache(std::string name, const CacheGeometry &geom,
+             ReplPolicy policy, std::uint64_t policy_seed,
+             std::unique_ptr<IndexFunction> index)
     : name_(std::move(name)),
       numSets_(geom.numSets()),
       assoc_(geom.assoc),
       lines_(static_cast<std::size_t>(geom.numSets()) * geom.assoc),
+      policy_(ReplacementPolicy::make(policy, geom.numSets(),
+                                      geom.assoc, policy_seed)),
+      indexFn_(std::move(index)),
       mruWay_(geom.numSets(), 0)
 {
     panic_if(numSets_ == 0, name_, ": zero sets");
@@ -98,6 +103,12 @@ void
 Cache::touch(CacheLine &line)
 {
     line.lastUse = ++useCounter_;
+    if (policy_) {
+        const auto idx =
+            static_cast<std::size_t>(&line - lines_.data());
+        policy_->onHit(static_cast<unsigned>(idx / assoc_),
+                       static_cast<unsigned>(idx % assoc_));
+    }
 }
 
 CacheLine &
@@ -107,7 +118,8 @@ Cache::insert(PAddr line_addr, Mesi state, Victim *victim)
              name_, ": inserting an invalid line");
     panic_if(find(line_addr),
              name_, ": inserting line already present: ", line_addr);
-    CacheLine *set = setBegin(setIndex(line_addr));
+    const unsigned set_idx = setIndex(line_addr);
+    CacheLine *set = setBegin(set_idx);
     CacheLine *slot = nullptr;
     for (unsigned w = 0; w < assoc_; ++w) {
         if (!set[w].valid()) {
@@ -116,11 +128,15 @@ Cache::insert(PAddr line_addr, Mesi state, Victim *victim)
         }
     }
     if (!slot) {
-        // Evict the least recently used way.
-        slot = &set[0];
-        for (unsigned w = 1; w < assoc_; ++w) {
-            if (set[w].lastUse < slot->lastUse)
-                slot = &set[w];
+        if (policy_) {
+            slot = &set[policy_->victimWay(set_idx)];
+        } else {
+            // Builtin policy: evict the least recently used way.
+            slot = &set[0];
+            for (unsigned w = 1; w < assoc_; ++w) {
+                if (set[w].lastUse < slot->lastUse)
+                    slot = &set[w];
+            }
         }
         if (victim) {
             victim->valid = true;
@@ -131,11 +147,14 @@ Cache::insert(PAddr line_addr, Mesi state, Victim *victim)
     slot->addr = line_addr;
     slot->state = state;
     touch(*slot);
-    const auto idx =
-        static_cast<std::size_t>(slot - lines_.data());
-    mruWay_[setIndex(line_addr)] =
-        static_cast<std::uint8_t>(idx % assoc_);
-    lastIdx_ = idx;
+    // The way comes from pointer arithmetic within the set: fills
+    // are frequent enough that an integer division here shows up in
+    // the directory-churn perf kernel.
+    const auto way = static_cast<unsigned>(slot - set);
+    if (policy_)
+        policy_->onFill(set_idx, way);
+    mruWay_[set_idx] = static_cast<std::uint8_t>(way);
+    lastIdx_ = static_cast<std::size_t>(set_idx) * assoc_ + way;
     lastAddr_ = line_addr;
     return *slot;
 }
@@ -144,6 +163,13 @@ bool
 Cache::invalidate(PAddr line_addr)
 {
     if (CacheLine *line = find(line_addr)) {
+        if (policy_) {
+            const auto idx =
+                static_cast<std::size_t>(line - lines_.data());
+            policy_->onInvalidate(
+                static_cast<unsigned>(idx / assoc_),
+                static_cast<unsigned>(idx % assoc_));
+        }
         *line = CacheLine{};
         return true;
     }
@@ -155,6 +181,8 @@ Cache::clear()
 {
     for (auto &line : lines_)
         line = CacheLine{};
+    if (policy_)
+        policy_->reset();
 }
 
 void

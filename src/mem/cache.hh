@@ -10,11 +10,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/index_function.hh"
 #include "mem/params.hh"
+#include "mem/replacement.hh"
 
 namespace csim
 {
@@ -84,7 +87,17 @@ struct Victim
 class Cache
 {
   public:
-    Cache(std::string name, const CacheGeometry &geom);
+    /**
+     * @param policy replacement policy; lru keeps the builtin
+     *        timestamp fast path (no policy object at all).
+     * @param policy_seed determinism seed for random victims.
+     * @param index optional set index function; null keeps the
+     *        builtin linear mapping.
+     */
+    Cache(std::string name, const CacheGeometry &geom,
+          ReplPolicy policy = ReplPolicy::lru,
+          std::uint64_t policy_seed = 0,
+          std::unique_ptr<IndexFunction> index = nullptr);
 
     /**
      * Find a valid line; nullptr on miss. Does not touch LRU.
@@ -127,17 +140,25 @@ class Cache
     unsigned numSets() const { return numSets_; }
     unsigned assoc() const { return assoc_; }
 
-    /** Set index a line address maps to. Power-of-two set counts
-     *  (all private caches) use a mask; the modulo fallback supports
-     *  the non-power-of-two set counts of real LLCs, e.g. 12288. */
+    /** Set index a line address maps to. The builtin mapping is
+     *  linear: power-of-two set counts (all private caches) use a
+     *  mask; the modulo fallback supports the non-power-of-two set
+     *  counts of real LLCs, e.g. 12288. A configured IndexFunction
+     *  (slice hash / randomized defense) overrides it. */
     unsigned
     setIndex(PAddr line_addr) const
     {
         const PAddr frame = line_addr / lineBytes;
+        if (indexFn_)
+            return indexFn_->index(frame);
         if (setMaskValid_)
             return static_cast<unsigned>(frame) & setMask_;
         return static_cast<unsigned>(frame % numSets_);
     }
+
+    /** The configured index function, or null for builtin linear. */
+    IndexFunction *indexFunction() { return indexFn_.get(); }
+    const IndexFunction *indexFunction() const { return indexFn_.get(); }
 
   private:
     /**
@@ -156,6 +177,10 @@ class Cache
     bool setMaskValid_ = false;
     std::vector<CacheLine> lines_;  //!< numSets * assoc, set-major
     std::uint64_t useCounter_ = 0;
+    /** Non-lru victim selection; null keeps the builtin LRU scan. */
+    std::unique_ptr<ReplacementPolicy> policy_;
+    /** Non-linear set mapping; null keeps the builtin linear path. */
+    std::unique_ptr<IndexFunction> indexFn_;
     /**
      * @name Lookup accelerators
      * `lines_` never reallocates after construction, so a cached slot

@@ -53,6 +53,7 @@ mesiWord(Mesi s)
 AccessResult
 MemorySystem::load(CoreId core, PAddr addr, Tick when)
 {
+    maybeRekey(when);
     ++stats_.loads;
     const PAddr line = lineAlign(addr);
     const bool traced = traceLine && line == traceLine;
@@ -127,7 +128,7 @@ MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
     auto &llc = *sockets_[static_cast<std::size_t>(socket)].llc;
     CacheLine *L = llc.find(line);
     const std::uint32_t others = residencyBits(socket, line);
-    if (!L && (config_.llcInclusive || others == 0))
+    if (!L && (config_.llcInclusive() || others == 0))
         return maxTick;
 
     const TimingParams &t = config_.timing;
@@ -235,6 +236,11 @@ MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
     addResidency(socket, line, core);
     if (L)
         llc.touch(*L);
+    // Exclusive LLC: serving the fill promotes the line into the
+    // private levels, so the LLC copy must go. Capture the dirty bit
+    // now — the private fill below can displace L's slot.
+    const bool excl_promote = config_.llcExclusive() && L != nullptr;
+    const bool excl_dirty = excl_promote && L->dirty;
     const bool shared_now =
         std::popcount(residencyBits(socket, line)) >= 2 ||
         (presenceBits(line) & ~(1u << socket));
@@ -247,6 +253,18 @@ MemorySystem::serveLocal(CoreId core, PAddr line, Tick when,
         fill_state = Mesi::forward;
     }
     fillPrivate(core, line, fill_state, when);
+    if (excl_promote && llc.invalidate(line)) {
+        // Dirty data cannot stay in the dropped LLC copy: it is
+        // written back to memory at promotion (the private copy is
+        // installed clean).
+        if (excl_dirty) {
+            occupy(dram_, when, t.dramBusy);
+            ++stats_.writebacks;
+            pubCoh(trace_, TraceEventType::cohWriteback, core, line,
+                   when);
+        }
+        reconcilePresence(socket, line);
+    }
     if (config_.lookup == CoherenceLookup::snoop)
         lat += t.snoopOverhead;
     return fill_wait + lat;
@@ -265,7 +283,7 @@ MemorySystem::serveRemote(CoreId core, SocketId remote, PAddr line,
 
     CacheLine *R = rsk.llc->find(line);
     const std::uint32_t r_bits = residencyBits(remote, line);
-    panic_if(!R && (config_.llcInclusive || r_bits == 0),
+    panic_if(!R && (config_.llcInclusive() || r_bits == 0),
              "global directory claims socket ", remote,
              " holds line ", line, " but nothing does");
     const Tick fill_wait =
@@ -352,14 +370,21 @@ MemorySystem::serveRemote(CoreId core, SocketId remote, PAddr line,
 
     // Install the line in the requesting socket; both sockets now
     // share it, so every private copy is S. The local copy is in
-    // flight until the reply arrives.
-    CacheLine &L = installLlc(socket, line, when);
-    L.coreValid = config_.llcInclusive ? coreBit(core) : 0;
-    L.dirty = false;
-    L.fillReadyAt = when + fill_wait + wait + lat;
-    globalDir_[line] |= 1u << socket;
-    if (!config_.llcInclusive)
+    // flight until the reply arrives. An exclusive LLC is bypassed:
+    // the data goes straight to the private levels and reaches the
+    // LLC only as a later victim (no MSHR coalescing window there).
+    if (config_.llcExclusive()) {
+        globalDir_[line] |= 1u << socket;
         addResidency(socket, line, core);
+    } else {
+        CacheLine &L = installLlc(socket, line, when);
+        L.coreValid = config_.llcInclusive() ? coreBit(core) : 0;
+        L.dirty = false;
+        L.fillReadyAt = when + fill_wait + wait + lat;
+        globalDir_[line] |= 1u << socket;
+        if (!config_.llcInclusive())
+            addResidency(socket, line, core);
+    }
     Mesi fill_state = Mesi::shared;
     if (config_.flavor == CoherenceFlavor::mesif) {
         // MESIF: the newest requester holds the line in F state and
@@ -393,13 +418,19 @@ MemorySystem::serveDram(CoreId core, PAddr line, Tick when,
         }
     }
 
-    CacheLine &L = installLlc(socket, line, when);
-    L.coreValid = config_.llcInclusive ? coreBit(core) : 0;
-    L.dirty = false;
-    L.fillReadyAt = when + wait + numa_extra + t.dramLat();
-    globalDir_[line] |= 1u << socket;
-    if (!config_.llcInclusive)
+    if (config_.llcExclusive()) {
+        // DRAM fill bypasses the exclusive LLC (victim-fill only).
+        globalDir_[line] |= 1u << socket;
         addResidency(socket, line, core);
+    } else {
+        CacheLine &L = installLlc(socket, line, when);
+        L.coreValid = config_.llcInclusive() ? coreBit(core) : 0;
+        L.dirty = false;
+        L.fillReadyAt = when + wait + numa_extra + t.dramLat();
+        globalDir_[line] |= 1u << socket;
+        if (!config_.llcInclusive())
+            addResidency(socket, line, core);
+    }
     // First load anywhere: the requester becomes the exclusive owner.
     fillPrivate(core, line, Mesi::exclusive, when);
     served = ServedBy::dram;
@@ -410,6 +441,7 @@ MemorySystem::serveDram(CoreId core, PAddr line, Tick when,
 AccessResult
 MemorySystem::store(CoreId core, PAddr addr, Tick when)
 {
+    maybeRekey(when);
     ++stats_.stores;
     const PAddr line = lineAlign(addr);
     if (trace_.enabled<TraceCategory::mem>()) {
@@ -477,6 +509,7 @@ MemorySystem::store(CoreId core, PAddr addr, Tick when)
 AccessResult
 MemorySystem::flush(CoreId core, PAddr addr, Tick when)
 {
+    maybeRekey(when);
     ++stats_.flushes;
     const PAddr line = lineAlign(addr);
     if (trace_.enabled<TraceCategory::mem>()) {
@@ -511,7 +544,7 @@ MemorySystem::flush(CoreId core, PAddr addr, Tick when)
                 dirty = true;
             sk.llc->invalidate(line);
         }
-        if (!config_.llcInclusive)
+        if (!config_.llcInclusive())
             snoopFilter_[static_cast<std::size_t>(s)].erase(line);
     }
     globalDir_.erase(line);
@@ -565,20 +598,6 @@ MemorySystem::invalidatePrivate(CoreId core, PAddr line)
 }
 
 void
-MemorySystem::writebackToLlc(CoreId core, PAddr line, Tick when)
-{
-    const SocketId socket = socketOf(core);
-    auto &sk = sockets_[static_cast<std::size_t>(socket)];
-    occupy(sk.llcPort, when, config_.timing.llcPortBusy);
-    CacheLine *L = sk.llc->find(line);
-    panic_if(!L, "writeback for line ", line,
-             " absent from its inclusive LLC");
-    L->dirty = true;
-    ++stats_.writebacks;
-    pubCoh(trace_, TraceEventType::cohWriteback, core, line, when);
-}
-
-void
 MemorySystem::handleL2Victim(CoreId core, const CacheLine &victim,
                              Tick when)
 {
@@ -587,8 +606,29 @@ MemorySystem::handleL2Victim(CoreId core, const CacheLine &victim,
     l1s_[static_cast<std::size_t>(core)]->invalidate(victim.addr);
     const SocketId socket = socketOf(core);
     auto &sk = sockets_[static_cast<std::size_t>(socket)];
+    if (config_.llcExclusive()) {
+        clearResidency(socket, victim.addr, core);
+        if (residencyBits(socket, victim.addr) == 0) {
+            // The last private copy in this socket leaves: allocate
+            // the victim into the LLC (the victim-cache fill that
+            // defines exclusive mode). Dirty data rides along as a
+            // dirty LLC line; nothing reaches memory yet.
+            occupy(sk.llcPort, when, config_.timing.llcPortBusy);
+            CacheLine &L = installLlc(socket, victim.addr, when);
+            L.dirty = isDirtyState(victim.state);
+            globalDir_[victim.addr] |= 1u << socket;
+        } else if (isDirtyState(victim.state)) {
+            // MOESI O victim with sharers left behind: the LLC must
+            // stay empty of the line, so the data goes to memory.
+            occupy(dram_, when, config_.timing.dramBusy);
+            ++stats_.writebacks;
+            pubCoh(trace_, TraceEventType::cohWriteback, core,
+                   victim.addr, when);
+        }
+        return;
+    }
     CacheLine *L = sk.llc->find(victim.addr);
-    panic_if(!L && config_.llcInclusive,
+    panic_if(!L && config_.llcInclusive(),
              "L2 victim line ", victim.addr,
              " absent from its inclusive LLC");
     if (isDirtyState(victim.state)) {
@@ -612,7 +652,7 @@ void
 MemorySystem::handleLlcVictim(SocketId socket, const CacheLine &victim,
                               Tick when)
 {
-    if (!config_.llcInclusive) {
+    if (!config_.llcInclusive()) {
         // Non-inclusive LLC: private copies survive the data
         // eviction; only dirty data is written back and the
         // socket-presence accounting reconciled.
@@ -735,7 +775,7 @@ MemorySystem::invalidateOthers(CoreId keep_core, PAddr line, Tick when)
             if (s != keep_socket)
                 had_remote = true;
             invalidatePrivate(c, line);
-            if (!config_.llcInclusive)
+            if (!config_.llcInclusive())
                 clearResidency(s, line, c);
         }
     }
@@ -750,7 +790,7 @@ MemorySystem::invalidateOthers(CoreId keep_core, PAddr line, Tick when)
         if (!L)
             continue;
         if (s == keep_socket) {
-            if (config_.llcInclusive) {
+            if (config_.llcInclusive()) {
                 L->coreValid =
                     privState(keep_core, line) != Mesi::invalid
                         ? coreBit(keep_core)
@@ -759,7 +799,7 @@ MemorySystem::invalidateOthers(CoreId keep_core, PAddr line, Tick when)
         } else {
             had_remote = true;
             sk.llc->invalidate(line);
-            if (config_.llcInclusive) {
+            if (config_.llcInclusive()) {
                 if (std::uint32_t *gb = globalDir_.find(line)) {
                     *gb &= ~(1u << s);
                     if (*gb == 0)

@@ -19,18 +19,36 @@ MemorySystem::MemorySystem(const SystemConfig &config)
     l2s_.reserve(cores);
     for (int c = 0; c < cores; ++c) {
         l1s_.push_back(std::make_unique<Cache>(
-            "L1.c" + std::to_string(c), config_.l1));
+            "L1.c" + std::to_string(c), config_.l1,
+            config_.replacement, deriveSeed(config_.seed, 1000 + c)));
         l2s_.push_back(std::make_unique<Cache>(
-            "L2.c" + std::to_string(c), config_.l2));
+            "L2.c" + std::to_string(c), config_.l2,
+            config_.replacement, deriveSeed(config_.seed, 2000 + c)));
     }
     sockets_.resize(static_cast<std::size_t>(config_.sockets));
-    if (!config_.llcInclusive)
+    if (!config_.llcInclusive())
         snoopFilter_.resize(
             static_cast<std::size_t>(config_.sockets));
+    if (config_.llcIndex == IndexFn::remap)
+        remapCountdown_ = config_.remapPeriod;
     for (int s = 0; s < config_.sockets; ++s) {
+        // MIRAGE pairs its keyed random placement with a random
+        // within-set victim; the other modes keep the configured
+        // policy at the LLC too.
+        const ReplPolicy llc_policy =
+            config_.llcIndex == IndexFn::mirage ? ReplPolicy::random
+                                                : config_.replacement;
+        std::unique_ptr<IndexFunction> index;
+        if (config_.llcIndex != IndexFn::linear) {
+            index = std::make_unique<IndexFunction>(
+                config_.llcIndex, config_.llc.numSets(),
+                deriveSeed(config_.seed, 4000 + s));
+        }
         sockets_[static_cast<std::size_t>(s)].llc =
             std::make_unique<Cache>("LLC.s" + std::to_string(s),
-                                    config_.llc);
+                                    config_.llc, llc_policy,
+                                    deriveSeed(config_.seed, 3000 + s),
+                                    std::move(index));
         sockets_[static_cast<std::size_t>(s)].llcPort.tag =
             TraceEventType::linkLlc;
     }
@@ -142,32 +160,32 @@ MemorySystem::inspect(PAddr addr) const
     return snap;
 }
 
-Mesi
-MemorySystem::privateState(CoreId core, PAddr addr) const
+std::uint64_t
+MemorySystem::llcIndexGeneration() const
 {
-    return privState(core, lineAlign(addr));
+    const IndexFunction *fn = sockets_[0].llc->indexFunction();
+    return fn ? fn->generation() : 0;
 }
 
-std::uint32_t
-MemorySystem::llcCoreValid(SocketId socket, PAddr addr) const
+void
+MemorySystem::rekeyNow(Tick when)
 {
-    const auto &llc = *sockets_[static_cast<std::size_t>(socket)].llc;
-    if (const CacheLine *l = llc.find(lineAlign(addr)))
-        return l->coreValid;
-    return 0;
-}
-
-bool
-MemorySystem::llcHas(SocketId socket, PAddr addr) const
-{
-    const auto &llc = *sockets_[static_cast<std::size_t>(socket)].llc;
-    return llc.find(lineAlign(addr)) != nullptr;
-}
-
-std::uint32_t
-MemorySystem::socketPresence(PAddr addr) const
-{
-    return globalDir_.lookup(lineAlign(addr));
+    for (int s = 0; s < config_.sockets; ++s) {
+        Cache &llc = *sockets_[static_cast<std::size_t>(s)].llc;
+        // Snapshot first: eviction handling may itself install lines
+        // (exclusive-mode victim fills never happen here, but the
+        // iteration must not observe its own mutations).
+        std::vector<CacheLine> resident;
+        resident.reserve(llc.occupancy());
+        llc.forEachLine([&](const CacheLine &line) {
+            resident.push_back(line);
+        });
+        for (const CacheLine &line : resident) {
+            llc.invalidate(line.addr);
+            handleLlcVictim(s, line, when);
+        }
+        llc.indexFunction()->rekey(rng_.next());
+    }
 }
 
 std::string
@@ -201,7 +219,7 @@ MemorySystem::checkInvariants() const
     //    inclusive LLC that view is the LLC lines' core-valid bits
     //    (and private lines must be present in the LLC); with a
     //    non-inclusive LLC it is the snoop filter.
-    if (!config_.llcInclusive) {
+    if (!config_.llcInclusive()) {
         for (int s = 0; s < config_.sockets; ++s) {
             std::unordered_map<PAddr, std::uint32_t> actual;
             for (int i = 0; i < config_.coresPerSocket; ++i) {
@@ -262,7 +280,27 @@ MemorySystem::checkInvariants() const
                 return bad;
         }
     }
-    for (int s = 0; config_.llcInclusive && s < config_.sockets;
+
+    // 2b. Exclusive LLC: a line is never simultaneously valid in a
+    //     socket's LLC and in one of that socket's private caches.
+    if (config_.llcExclusive()) {
+        for (int s = 0; s < config_.sockets; ++s) {
+            std::string bad;
+            sockets_[static_cast<std::size_t>(s)]
+                .llc->forEachLine([&](const CacheLine &line) {
+                    if (bad.empty() &&
+                        residencyBits(s, line.addr) != 0) {
+                        bad = msgCat("socket ", s, " line ",
+                                     line.addr,
+                                     " valid in the exclusive LLC "
+                                     "and in a private cache");
+                    }
+                });
+            if (!bad.empty())
+                return bad;
+        }
+    }
+    for (int s = 0; config_.llcInclusive() && s < config_.sockets;
          ++s) {
         const Cache &llc = *sockets_[static_cast<std::size_t>(s)].llc;
         // Gather actual residency per line from L2s of this socket.
@@ -318,7 +356,7 @@ MemorySystem::checkInvariants() const
                 llc_presence[line.addr] |= 1u << s;
             });
     }
-    if (config_.llcInclusive) {
+    if (config_.llcInclusive()) {
         for (const auto &[addr, bits] : llc_presence) {
             if (globalDir_.lookup(addr) != bits) {
                 return msgCat("line ", addr,
@@ -425,7 +463,7 @@ MemorySystem::checkInvariants() const
 std::uint32_t
 MemorySystem::residencyBits(SocketId socket, PAddr line) const
 {
-    if (config_.llcInclusive) {
+    if (config_.llcInclusive()) {
         const auto &llc =
             *sockets_[static_cast<std::size_t>(socket)].llc;
         if (const CacheLine *l = llc.find(line))
@@ -439,7 +477,7 @@ MemorySystem::residencyBits(SocketId socket, PAddr line) const
 void
 MemorySystem::addResidency(SocketId socket, PAddr line, CoreId core)
 {
-    if (config_.llcInclusive) {
+    if (config_.llcInclusive()) {
         CacheLine *L =
             sockets_[static_cast<std::size_t>(socket)].llc->find(
                 line);
@@ -455,7 +493,7 @@ void
 MemorySystem::clearResidency(SocketId socket, PAddr line,
                              CoreId core)
 {
-    if (config_.llcInclusive) {
+    if (config_.llcInclusive()) {
         if (CacheLine *L = sockets_[static_cast<std::size_t>(socket)]
                                .llc->find(line)) {
             L->coreValid &= ~coreBit(core);
@@ -480,7 +518,7 @@ MemorySystem::reconcilePresence(SocketId socket, PAddr line)
 {
     // Non-inclusive mode: a socket is "present" while either its
     // LLC caches the data or one of its cores holds a private copy.
-    if (config_.llcInclusive)
+    if (config_.llcInclusive())
         return;
     if (residencyBits(socket, line) != 0 ||
         sockets_[static_cast<std::size_t>(socket)].llc->find(line)) {

@@ -110,18 +110,23 @@ class MemorySystem
      */
     /** Snapshot everything the machine knows about one line. */
     LineSnapshot inspect(PAddr addr) const;
-    /** Combined L1/L2 state of a line in a core's private caches. */
-    [[deprecated("use inspect(addr).priv[core]")]]
-    Mesi privateState(CoreId core, PAddr addr) const;
-    /** Core-valid bit vector the LLC directory holds for a line. */
-    [[deprecated("use inspect(addr).sockets[socket].coreValid")]]
-    std::uint32_t llcCoreValid(SocketId socket, PAddr addr) const;
-    /** Whether a socket's LLC holds the line. */
-    [[deprecated("use inspect(addr).sockets[socket].llcHas")]]
-    bool llcHas(SocketId socket, PAddr addr) const;
-    /** Sockets whose hierarchy holds the line (global directory). */
-    [[deprecated("use inspect(addr).presence")]]
-    std::uint32_t socketPresence(PAddr addr) const;
+    /**
+     * A socket's LLC structure, exposed read-only so conflict-set
+     * builders can probe set membership through Cache::setIndex (and
+     * hence through whatever IndexFunction is configured) instead of
+     * assuming linear set-stride arithmetic.
+     */
+    const Cache &
+    llcOf(SocketId socket) const
+    {
+        return *sockets_[static_cast<std::size_t>(socket)].llc;
+    }
+    /**
+     * Rekey count of the LLC index function (remap mode); 0 with a
+     * static index. Conflict-set users compare this against the
+     * generation they probed under to detect stale sets.
+     */
+    std::uint64_t llcIndexGeneration() const;
     /**
      * Verify every coherence invariant (single E/M owner, inclusion,
      * directory consistency). @return empty string if consistent,
@@ -214,8 +219,6 @@ class MemorySystem
     CacheLine &installLlc(SocketId socket, PAddr addr, Tick when);
     /** Remove a line from one core's private caches. */
     void invalidatePrivate(CoreId core, PAddr addr);
-    /** Write a core's modified data back into its socket's LLC. */
-    void writebackToLlc(CoreId core, PAddr addr, Tick when);
     /** Set the private-cache state of a line in both L1 and L2. */
     void setPrivateState(CoreId core, PAddr addr, Mesi state);
     /** Evict handling for a displaced private L2 line. */
@@ -281,6 +284,24 @@ class MemorySystem
     /** Per-operation gaussian + long-tail jitter. */
     Tick jitter();
     /**
+     * Remap mode: count down LLC-side operations and, on expiry,
+     * flush every LLC through the normal victim paths and install a
+     * fresh index key. Called at the top of load/store/flush; the
+     * countdown stays 0 for every other index mode, so the fast path
+     * is one predictable load-and-branch (inline: the call itself
+     * was a measurable tax on the L1-hit kernel).
+     */
+    void
+    maybeRekey(Tick when)
+    {
+        if (remapCountdown_ != 0 && --remapCountdown_ == 0) {
+            remapCountdown_ = config_.remapPeriod;
+            rekeyNow(when);
+        }
+    }
+    /** The rekey event itself (remap mode, countdown expired). */
+    void rekeyNow(Tick when);
+    /**
      * Utilization-scaled interference delay for a load that
      * traversed resources with summed utilization @p util.
      */
@@ -299,10 +320,13 @@ class MemorySystem
      */
     LineMap globalDir_;
     /**
-     * Non-inclusive mode only: per-socket snoop filter tracking
-     * private residency independently of the LLC data array.
+     * Non-inclusive (nine/exclusive) modes only: per-socket snoop
+     * filter tracking private residency independently of the LLC
+     * data array.
      */
     std::vector<LineMap> snoopFilter_;
+    /** Remap mode: LLC-side operations until the next rekey. */
+    std::uint64_t remapCountdown_ = 0;
     Resource qpi_;
     Resource dram_;
     /** Summed utilization of resources the current load traversed. */

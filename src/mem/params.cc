@@ -40,6 +40,41 @@ coherenceLookupName(CoherenceLookup k)
     return "?";
 }
 
+const char *
+inclusivityName(Inclusivity i)
+{
+    switch (i) {
+      case Inclusivity::inclusive: return "inclusive";
+      case Inclusivity::nine: return "nine";
+      case Inclusivity::exclusive: return "exclusive";
+    }
+    return "?";
+}
+
+const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::lru: return "lru";
+      case ReplPolicy::plru: return "plru";
+      case ReplPolicy::random: return "random";
+      case ReplPolicy::srrip: return "srrip";
+    }
+    return "?";
+}
+
+const char *
+indexFnName(IndexFn f)
+{
+    switch (f) {
+      case IndexFn::linear: return "linear";
+      case IndexFn::xorFold: return "xor-fold";
+      case IndexFn::remap: return "remap";
+      case IndexFn::mirage: return "mirage";
+    }
+    return "?";
+}
+
 void
 SystemConfig::validate() const
 {
@@ -55,6 +90,13 @@ SystemConfig::validate() const
     fatal_if(llc.sizeBytes < l2.sizeBytes,
              "LLC must be at least as large as L2 (LLC is inclusive)");
     fatal_if(timing.clockGhz <= 0.0, "clock frequency must be positive");
+    if (replacement == ReplPolicy::plru) {
+        auto pow2 = [](unsigned v) { return v > 0 && (v & (v - 1)) == 0; };
+        fatal_if(!pow2(l1.assoc) || !pow2(l2.assoc) || !pow2(llc.assoc),
+                 "plru replacement needs power-of-two associativity");
+    }
+    fatal_if(llcIndex == IndexFn::remap && remapPeriod == 0,
+             "remap index needs a positive rekey period");
 }
 
 } // namespace csim

@@ -193,6 +193,53 @@ enum class CoherenceLookup : std::uint8_t
 const char *coherenceFlavorName(CoherenceFlavor f);
 const char *coherenceLookupName(CoherenceLookup k);
 
+/**
+ * LLC inclusion policy (paper §VIII-E discussion).
+ *
+ * inclusive: every private line is also in the LLC; residency is
+ * tracked with core-valid bits on the LLC line, and LLC evictions
+ * back-invalidate the private copies (the paper's machine).
+ *
+ * nine (non-inclusive non-exclusive): the LLC caches whatever it
+ * likes; private residency lives in a dedicated snoop-filter
+ * directory and LLC evictions leave private copies alone.
+ *
+ * exclusive: the LLC is a victim cache of the private levels — a
+ * line is never simultaneously valid in a socket's LLC and in one of
+ * that socket's private caches. Private fills served by the LLC
+ * invalidate the LLC copy (writing dirty data back to DRAM on
+ * promotion), and clean-ups of the last private copy allocate the
+ * victim into the LLC.
+ */
+enum class Inclusivity : std::uint8_t
+{
+    inclusive,
+    nine,
+    exclusive,
+};
+
+/** Replacement policy used by every cache level. */
+enum class ReplPolicy : std::uint8_t
+{
+    lru,     //!< true LRU via per-line timestamps (default)
+    plru,    //!< tree pseudo-LRU (needs power-of-two associativity)
+    random,  //!< seeded uniform-random victim
+    srrip,   //!< 2-bit re-reference interval prediction
+};
+
+/** LLC set/slice index function. */
+enum class IndexFn : std::uint8_t
+{
+    linear,   //!< frame mod sets (the paper's machine; default)
+    xorFold,  //!< XOR-fold slice hash of the frame number
+    remap,    //!< keyed index, periodically rekeyed (CEASER-style)
+    mirage,   //!< keyed random placement + random eviction (MIRAGE-style)
+};
+
+const char *inclusivityName(Inclusivity i);
+const char *replPolicyName(ReplPolicy p);
+const char *indexFnName(IndexFn f);
+
 /** Topology and configuration of the whole simulated machine. */
 struct SystemConfig
 {
@@ -203,14 +250,34 @@ struct SystemConfig
     CoherenceFlavor flavor = CoherenceFlavor::mesi;
     /** Miss-resolution mechanism. */
     CoherenceLookup lookup = CoherenceLookup::directory;
+    /** LLC inclusion policy; see Inclusivity. */
+    Inclusivity inclusivity = Inclusivity::inclusive;
+    /** Replacement policy for every cache level. */
+    ReplPolicy replacement = ReplPolicy::lru;
+    /** LLC set index function. */
+    IndexFn llcIndex = IndexFn::linear;
     /**
-     * Inclusive LLC (the paper's machine) vs non-inclusive
-     * (§VIII-E discussion): with a non-inclusive LLC, evictions do
-     * not back-invalidate private copies, and private residency is
-     * tracked in a dedicated snoop-filter directory decoupled from
-     * the LLC data array.
+     * LLC accesses between index rekeys in remap mode. Each rekey
+     * flushes the LLC through the normal victim paths (the coarse
+     * model of dynamic remapping: resident lines move, so in-flight
+     * eviction/reload patterns break) and derives a fresh key.
      */
-    bool llcInclusive = true;
+    std::uint64_t remapPeriod = 20000;
+
+    /** The paper's machine: core-valid bits on the LLC lines. */
+    bool llcInclusive() const
+    {
+        return inclusivity == Inclusivity::inclusive;
+    }
+    /** nine + exclusive both track residency in a snoop filter. */
+    bool usesSnoopFilter() const
+    {
+        return inclusivity != Inclusivity::inclusive;
+    }
+    bool llcExclusive() const
+    {
+        return inclusivity == Inclusivity::exclusive;
+    }
 
     CacheGeometry l1{32 * 1024, 8};
     CacheGeometry l2{256 * 1024, 8};

@@ -1,0 +1,208 @@
+#include "mem/replacement.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace csim
+{
+
+namespace
+{
+
+/**
+ * Tree pseudo-LRU: each set keeps assoc-1 internal-node bits; a bit
+ * of 0 means "LRU side is the left subtree". Hits flip the bits on
+ * the root-to-way path to point away from the way; the victim walk
+ * follows the bits from the root. Needs power-of-two associativity
+ * (validated in SystemConfig::validate).
+ */
+class TreePlru : public ReplacementPolicy
+{
+  public:
+    TreePlru(unsigned sets, unsigned assoc)
+        : assoc_(assoc), bits_(sets, 0)
+    {
+        panic_if(assoc == 0 || (assoc & (assoc - 1)) != 0,
+                 "plru needs power-of-two associativity");
+        panic_if(assoc > 64, "plru supports at most 64 ways");
+    }
+
+    void
+    onHit(unsigned set, unsigned way) override
+    {
+        promote(set, way);
+    }
+
+    void
+    onFill(unsigned set, unsigned way) override
+    {
+        promote(set, way);
+    }
+
+    unsigned
+    victimWay(unsigned set) override
+    {
+        std::uint64_t tree = bits_[set];
+        unsigned node = 0;  // root of the implicit heap
+        unsigned lo = 0, span = assoc_;
+        while (span > 1) {
+            const bool right = (tree >> node) & 1;
+            span /= 2;
+            if (right)
+                lo += span;
+            node = 2 * node + 1 + (right ? 1 : 0);
+        }
+        return lo;
+    }
+
+    void
+    reset() override
+    {
+        std::fill(bits_.begin(), bits_.end(), 0);
+    }
+
+  private:
+    /** Point every node on the path to @p way away from it. */
+    void
+    promote(unsigned set, unsigned way)
+    {
+        std::uint64_t tree = bits_[set];
+        unsigned node = 0;
+        unsigned lo = 0, span = assoc_;
+        while (span > 1) {
+            span /= 2;
+            const bool in_right = way >= lo + span;
+            // Record the *opposite* side as next victim direction.
+            if (in_right) {
+                tree &= ~(std::uint64_t{1} << node);
+                lo += span;
+                node = 2 * node + 2;
+            } else {
+                tree |= std::uint64_t{1} << node;
+                node = 2 * node + 1;
+            }
+        }
+        bits_[set] = tree;
+    }
+
+    unsigned assoc_;
+    std::vector<std::uint64_t> bits_;
+};
+
+/** Seeded uniform-random victim; also MIRAGE's within-set choice. */
+class RandomRepl : public ReplacementPolicy
+{
+  public:
+    RandomRepl(unsigned assoc, std::uint64_t seed)
+        : assoc_(assoc), seed_(seed), rng_(seed)
+    {}
+
+    void onHit(unsigned, unsigned) override {}
+    void onFill(unsigned, unsigned) override {}
+
+    unsigned
+    victimWay(unsigned set) override
+    {
+        (void)set;
+        return static_cast<unsigned>(rng_.below(assoc_));
+    }
+
+    void
+    reset() override
+    {
+        rng_ = Rng(seed_);
+    }
+
+  private:
+    unsigned assoc_;
+    std::uint64_t seed_;
+    Rng rng_;
+};
+
+/**
+ * Static RRIP (SRRIP-HP, Jaleel et al.): 2-bit re-reference
+ * prediction value per line. Fills predict "long" (RRPV 2), hits
+ * predict "near-immediate" (RRPV 0); the victim is the lowest way
+ * with RRPV 3, aging the whole set until one appears.
+ */
+class Srrip : public ReplacementPolicy
+{
+  public:
+    Srrip(unsigned sets, unsigned assoc)
+        : assoc_(assoc), rrpv_(std::size_t{sets} * assoc, kMax)
+    {}
+
+    void
+    onHit(unsigned set, unsigned way) override
+    {
+        rrpv_[idx(set, way)] = 0;
+    }
+
+    void
+    onFill(unsigned set, unsigned way) override
+    {
+        rrpv_[idx(set, way)] = kLong;
+    }
+
+    void
+    onInvalidate(unsigned set, unsigned way) override
+    {
+        // An invalid way is immediately re-usable; Cache's
+        // invalid-way scan handles it, but keep the metadata sane.
+        rrpv_[idx(set, way)] = kMax;
+    }
+
+    unsigned
+    victimWay(unsigned set) override
+    {
+        for (;;) {
+            for (unsigned w = 0; w < assoc_; ++w) {
+                if (rrpv_[idx(set, w)] >= kMax)
+                    return w;
+            }
+            for (unsigned w = 0; w < assoc_; ++w)
+                ++rrpv_[idx(set, w)];
+        }
+    }
+
+    void
+    reset() override
+    {
+        std::fill(rrpv_.begin(), rrpv_.end(), kMax);
+    }
+
+  private:
+    static constexpr std::uint8_t kMax = 3;
+    static constexpr std::uint8_t kLong = 2;
+
+    std::size_t
+    idx(unsigned set, unsigned way) const
+    {
+        return std::size_t{set} * assoc_ + way;
+    }
+
+    unsigned assoc_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::make(ReplPolicy policy, unsigned sets,
+                        unsigned assoc, std::uint64_t seed)
+{
+    switch (policy) {
+      case ReplPolicy::lru:
+        return nullptr;  // builtin lastUse fast path
+      case ReplPolicy::plru:
+        return std::make_unique<TreePlru>(sets, assoc);
+      case ReplPolicy::random:
+        return std::make_unique<RandomRepl>(assoc, seed);
+      case ReplPolicy::srrip:
+        return std::make_unique<Srrip>(sets, assoc);
+    }
+    panic("unknown replacement policy");
+}
+
+} // namespace csim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Replacement-policy seam behind Cache.
+ *
+ * The default policy (true LRU over per-line `lastUse` timestamps)
+ * stays built into Cache itself so the hot path is untouched: a
+ * cache constructed with ReplPolicy::lru carries no policy object at
+ * all. The other policies — tree pseudo-LRU, seeded random, and
+ * 2-bit SRRIP — implement this interface and are consulted only when
+ * an insert finds no invalid way.
+ *
+ * Contract: Cache still prefers invalid ways (filled lowest-way
+ * first) before asking the policy for a victim, and notifies the
+ * policy of every hit (touch), fill, and invalidation so its
+ * metadata tracks the set contents exactly.
+ */
+
+#ifndef COHERSIM_MEM_REPLACEMENT_HH
+#define COHERSIM_MEM_REPLACEMENT_HH
+
+#include <memory>
+
+#include "common/random.hh"
+#include "mem/params.hh"
+
+namespace csim
+{
+
+/** Per-cache replacement metadata and victim selection. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A valid line in (set, way) was referenced. */
+    virtual void onHit(unsigned set, unsigned way) = 0;
+    /** A line was just installed in (set, way). */
+    virtual void onFill(unsigned set, unsigned way) = 0;
+    /** The line in (set, way) was invalidated. */
+    virtual void onInvalidate(unsigned set, unsigned way) {
+        (void)set;
+        (void)way;
+    }
+    /** Pick the victim way of a full set. */
+    virtual unsigned victimWay(unsigned set) = 0;
+    /** Drop all metadata (cache cleared). */
+    virtual void reset() = 0;
+
+    /**
+     * Build the policy object for @p policy, or null for lru (the
+     * builtin fast path). @p seed keeps random victims deterministic
+     * per cache.
+     */
+    static std::unique_ptr<ReplacementPolicy>
+    make(ReplPolicy policy, unsigned sets, unsigned assoc,
+         std::uint64_t seed);
+};
+
+} // namespace csim
+
+#endif // COHERSIM_MEM_REPLACEMENT_HH

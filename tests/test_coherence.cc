@@ -451,37 +451,55 @@ TEST(ServicePaths, AllFourCombosDistinctAndOrdered)
     EXPECT_LT(t.remoteExclLat(), t.dramLat());
 }
 
-// Pin the deprecated accessors to inspect(): both views of the same
-// machine state must agree on every field, for every core and
-// socket, across a spread of protocol situations. This is the
-// contract that lets downstream users migrate at their own pace.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(InspectEquivalence, LegacyAccessorsAgreeWithSnapshot)
+// inspect() snapshots must be internally consistent: the per-core
+// private states, per-socket views and home-agent presence bits are
+// gathered in one call and must describe one coherent machine state,
+// across a spread of protocol situations.
+TEST(InspectEquivalence, SnapshotInternallyConsistent)
 {
     SystemConfig cfg = quietConfig();
     MemorySystem mem(cfg);
     const PAddr lines[] = {lineB, lineB + 64, lineB + 4096,
                            0x1000};
     // Drive the lines through E, S, M, cross-socket and flushed
-    // states, checking the equivalence after every step.
+    // states, checking the snapshot after every step.
     Tick now = 0;
     auto checkAll = [&] {
         for (const PAddr line : lines) {
             const LineSnapshot snap = mem.inspect(line);
             EXPECT_EQ(snap.line, lineAlign(line));
-            EXPECT_EQ(snap.presence, mem.socketPresence(line));
+            ASSERT_EQ(snap.priv.size(),
+                      static_cast<std::size_t>(cfg.numCores()));
+            ASSERT_EQ(snap.sockets.size(),
+                      static_cast<std::size_t>(cfg.sockets));
             for (int c = 0; c < cfg.numCores(); ++c) {
-                EXPECT_EQ(snap.priv[static_cast<std::size_t>(c)],
-                          mem.privateState(c, line))
+                if (snap.priv[static_cast<std::size_t>(c)] ==
+                    Mesi::invalid) {
+                    continue;
+                }
+                // A private copy implies its socket is present in
+                // the home directory and in the socket residency.
+                const int s = cfg.socketOf(c);
+                EXPECT_TRUE(snap.presence & (1u << s))
+                    << "core " << c << " line " << line;
+                const auto &v =
+                    snap.sockets[static_cast<std::size_t>(s)];
+                EXPECT_TRUE(v.residency &
+                            (1u << (c % cfg.coresPerSocket)))
                     << "core " << c << " line " << line;
             }
             for (int s = 0; s < cfg.sockets; ++s) {
                 const auto &v =
                     snap.sockets[static_cast<std::size_t>(s)];
-                EXPECT_EQ(v.llcHas, mem.llcHas(s, line));
-                EXPECT_EQ(v.coreValid, mem.llcCoreValid(s, line));
+                // Inclusive LLC: residency is the core-valid vector.
+                EXPECT_EQ(v.residency, v.coreValid)
+                    << "socket " << s << " line " << line;
+                if (v.llcHas) {
+                    EXPECT_TRUE(snap.presence & (1u << s))
+                        << "socket " << s << " line " << line;
+                }
             }
+            EXPECT_EQ(snap.heldAnywhere(), snap.presence != 0);
         }
     };
     checkAll();
@@ -498,8 +516,8 @@ TEST(InspectEquivalence, LegacyAccessorsAgreeWithSnapshot)
     checkAll();
     mem.flush(0, lineB, now += 100);       // gone everywhere
     checkAll();
+    EXPECT_FALSE(mem.inspect(lineB).heldAnywhere());
 }
-#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace csim

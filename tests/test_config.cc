@@ -509,7 +509,7 @@ TEST(Presets, ProtocolMatrixMatchesAblationBench)
     EXPECT_EQ(protos[5]->name, "proto-mesi-noninclusive");
     ExperimentSpec spec;
     applyPreset(spec, *protos[5]);
-    EXPECT_FALSE(spec.channel.system.llcInclusive);
+    EXPECT_EQ(spec.channel.system.inclusivity, Inclusivity::nine);
     EXPECT_EQ(spec.channel.system.flavor, CoherenceFlavor::mesi);
 }
 

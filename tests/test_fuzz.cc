@@ -6,9 +6,11 @@
  * over a small address pool, against deliberately tiny caches so
  * evictions, back-invalidations and directory churn happen
  * constantly. After every single step the full invariant checker
- * must stay silent, and sampled steps must show the legacy accessors
- * agreeing with inspect(). A companion suite fuzzes LineMap against
- * std::unordered_map as a reference model.
+ * must stay silent. The grid suite repeats the run across every
+ * replacement policy x inclusivity mode x LLC index function so the
+ * pluggable-hierarchy seams face the same churn as the defaults. A
+ * companion suite fuzzes LineMap against std::unordered_map as a
+ * reference model.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "common/line_map.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "mem/memory_system.hh"
 
@@ -89,7 +92,7 @@ TEST(OpFuzz, MesiInclusiveDirectory)
 TEST(OpFuzz, MesiNonInclusive)
 {
     SystemConfig cfg = fuzzConfig();
-    cfg.llcInclusive = false;
+    cfg.inclusivity = Inclusivity::nine;
     fuzzRun(cfg, 1002, 10'000);
 }
 
@@ -111,65 +114,75 @@ TEST(OpFuzz, MoesiNonInclusiveSnoop)
 {
     SystemConfig cfg = fuzzConfig();
     cfg.flavor = CoherenceFlavor::moesi;
-    cfg.llcInclusive = false;
+    cfg.inclusivity = Inclusivity::nine;
     cfg.lookup = CoherenceLookup::snoop;
     fuzzRun(cfg, 1005, 10'000);
 }
 
-// The deprecated accessors must stay bit-equivalent to inspect() on
-// arbitrary fuzzed machine states, not just the hand-built ones of
-// test_coherence.cc.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(OpFuzz, InspectMatchesLegacyAccessorsOnFuzzedStates)
+// Every replacement policy x inclusivity mode x LLC index function
+// must survive the same churn the defaults do. Miniature caches with
+// power-of-two geometry (so plru is legal everywhere) keep the full
+// grid cheap; the invariant checker runs after every step inside
+// fuzzRun, which in exclusive mode also rejects any line valid in
+// both the LLC and a private cache.
+TEST(OpFuzz, HierarchyAxesGrid)
 {
-    for (const bool inclusive : {true, false}) {
-        SystemConfig cfg = fuzzConfig();
-        cfg.llcInclusive = inclusive;
-        cfg.flavor = CoherenceFlavor::mesif;
-        cfg.validate();
-        MemorySystem mem(cfg);
-        Rng rng(77);
-        const PAddr base = 0x4000'0000;
-        Tick now = 0;
-        for (int i = 0; i < 2'000; ++i) {
-            const auto core = static_cast<CoreId>(
-                rng.range(0, cfg.numCores() - 1));
-            const PAddr addr =
-                base +
-                static_cast<PAddr>(rng.range(0, 63)) * lineBytes;
-            now += 50;
-            const auto op = rng.range(0, 9);
-            if (op < 5)
-                mem.load(core, addr, now);
-            else if (op < 8)
-                mem.store(core, addr, now);
-            else
-                mem.flush(core, addr, now);
-            if (i % 50 != 0)
-                continue;
-            for (int l = 0; l < 64; ++l) {
-                const PAddr line =
-                    base + static_cast<PAddr>(l) * lineBytes;
-                const LineSnapshot snap = mem.inspect(line);
-                ASSERT_EQ(snap.presence, mem.socketPresence(line));
-                for (int c = 0; c < cfg.numCores(); ++c) {
-                    ASSERT_EQ(
-                        snap.priv[static_cast<std::size_t>(c)],
-                        mem.privateState(c, line));
-                }
-                for (int s = 0; s < cfg.sockets; ++s) {
-                    const auto &v =
-                        snap.sockets[static_cast<std::size_t>(s)];
-                    ASSERT_EQ(v.llcHas, mem.llcHas(s, line));
-                    ASSERT_EQ(v.coreValid,
-                              mem.llcCoreValid(s, line));
-                }
+    std::uint64_t salt = 0;
+    for (const ReplPolicy repl :
+         {ReplPolicy::lru, ReplPolicy::plru, ReplPolicy::random,
+          ReplPolicy::srrip}) {
+        for (const Inclusivity inc :
+             {Inclusivity::inclusive, Inclusivity::nine,
+              Inclusivity::exclusive}) {
+            for (const IndexFn idx :
+                 {IndexFn::linear, IndexFn::xorFold, IndexFn::remap,
+                  IndexFn::mirage}) {
+                SystemConfig cfg = fuzzConfig();
+                // Power-of-two sets/ways at every level so TreePlru
+                // accepts the geometry; still tiny enough to thrash.
+                cfg.l1 = CacheGeometry{2 * 1024, 2};
+                cfg.l2 = CacheGeometry{4 * 1024, 4};
+                cfg.llc = CacheGeometry{32 * 1024, 4};
+                cfg.replacement = repl;
+                cfg.inclusivity = inc;
+                cfg.llcIndex = idx;
+                // Short enough that remap rekeys several times
+                // mid-run, long enough to transmit between keys.
+                cfg.remapPeriod = 700;
+                SCOPED_TRACE(msgCat(
+                    "repl=", replPolicyName(repl),
+                    " inclusivity=", inclusivityName(inc),
+                    " index=", indexFnName(idx)));
+                fuzzRun(cfg, 2000 + salt, 1'500);
+                ++salt;
             }
         }
     }
 }
-#pragma GCC diagnostic pop
+
+// The exclusive-LLC protocol gets a longer dedicated soak on the
+// default non-power-of-two geometry: the acceptance bar is that no
+// line is ever simultaneously valid in the LLC and a private cache,
+// which checkInvariants() enforces after every step.
+TEST(OpFuzz, ExclusiveLlcSoak)
+{
+    SystemConfig cfg = fuzzConfig();
+    cfg.inclusivity = Inclusivity::exclusive;
+    fuzzRun(cfg, 1006, 10'000);
+    cfg.flavor = CoherenceFlavor::moesi;
+    fuzzRun(cfg, 1007, 10'000);
+}
+
+// Dynamic remapping on the default geometry: rekeys must preserve
+// every coherence invariant while cycling the whole LLC through the
+// regular victim paths.
+TEST(OpFuzz, RemapRekeySoak)
+{
+    SystemConfig cfg = fuzzConfig();
+    cfg.llcIndex = IndexFn::remap;
+    cfg.remapPeriod = 500;
+    fuzzRun(cfg, 1008, 10'000);
+}
 
 // LineMap vs std::unordered_map as a reference model: random
 // insert/erase/lookup sequences over a small key pool (high

@@ -353,7 +353,7 @@ SystemConfig
 nonInclusiveConfig()
 {
     SystemConfig cfg = quietConfig();
-    cfg.llcInclusive = false;
+    cfg.inclusivity = Inclusivity::nine;
     return cfg;
 }
 
@@ -472,7 +472,7 @@ TEST(NonInclusive, ChannelStillWorks)
     // may not be sufficient to eliminate the timing channels".
     ChannelConfig cfg;
     cfg.system.seed = 4242;
-    cfg.system.llcInclusive = false;
+    cfg.system.inclusivity = Inclusivity::nine;
     cfg.scenario = Scenario::lexcC_lshB;
     Rng rng(7);
     const BitString payload = randomBits(rng, 50);

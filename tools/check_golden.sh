@@ -146,6 +146,22 @@ else
     settle phy_quick "$out"
 fi
 
+# The defense matrix is seeded and deterministic too: pin the quick
+# grid (Table I row 4 against every defense column — §VIII-E
+# mitigations plus the randomized caches; its BENCH json must be
+# bit-identical at any --jobs, CI exercises other worker counts).
+out="$scratch/defense_quick"
+mkdir -p "$out"
+(cd "$out" && "$bench_dir/defense_matrix" --quick --jobs 1 --quiet \
+    > stdout.raw 2>&1)
+if [ $? -ne 0 ]; then
+    echo "check_golden: defense_quick FAILED to run" >&2
+    status=1
+else
+    mv "$out/stdout.raw" "$out/stdout.txt"
+    settle defense_quick "$out"
+fi
+
 if [ "$refresh" -eq 1 ]; then
     echo "check_golden: goldens written to $golden_dir"
 elif [ "$status" -eq 0 ]; then

@@ -195,10 +195,11 @@ printFields()
     // One table per field-name prefix, in registry order: the
     // registry lays fields out section by section already.
     static const std::map<std::string, std::string> sections = {
-        {"system", "System"},     {"channel", "Channel"},
-        {"phy", "PHY"},           {"noise", "Noise workload"},
-        {"payload", "Payload"},   {"sweep", "Sweep"},
-        {"fleet", "Fleet"},       {"obs", "Observability"},
+        {"system", "System"},     {"mem", "Memory hierarchy"},
+        {"channel", "Channel"},   {"phy", "PHY"},
+        {"noise", "Noise workload"}, {"payload", "Payload"},
+        {"sweep", "Sweep"},       {"fleet", "Fleet"},
+        {"obs", "Observability"},
     };
     const FieldRegistry &reg = FieldRegistry::instance();
     const ExperimentSpec defaults;
@@ -269,8 +270,7 @@ cmdInfo(const Args &args)
               << "  L1 " << sys.l1.sizeBytes / 1024 << " KiB, L2 "
               << sys.l2.sizeBytes / 1024 << " KiB private; LLC "
               << sys.llc.sizeBytes / (1024 * 1024) << " MiB shared "
-              << (sys.llcInclusive ? "inclusive" : "non-inclusive")
-              << "\n"
+              << inclusivityName(sys.inclusivity) << "\n"
               << "  protocol " << coherenceFlavorName(sys.flavor)
               << " / " << coherenceLookupName(sys.lookup) << "\n\n";
 
@@ -741,7 +741,7 @@ cmdInspect(const Args &args)
         std::cout
             << "cohersim inspect [--line ADDR] [--seed S] "
                "[--flavor mesi|mesif|moesi]\n"
-               "                 [--system.llc_inclusive BOOL] "
+               "                 [--mem.inclusivity MODE] "
                "[--lookup directory|snoop]\n"
                "  --line ADDR  physical address to follow "
                "(default 0x40000000)\n"
@@ -764,7 +764,7 @@ cmdInspect(const Args &args)
     std::cout << "Following line 0x" << std::hex << lineAlign(line)
               << std::dec << " ("
               << coherenceFlavorName(sys.flavor) << ", "
-              << (sys.llcInclusive ? "inclusive" : "non-inclusive")
+              << inclusivityName(sys.inclusivity)
               << " LLC). priv: one column per core, '|' between "
                  "sockets.\n\n";
     TablePrinter table;
