@@ -69,11 +69,9 @@ main(int argc, char **argv)
                     applyPreset(spec, *defense);
                 // Mitigations change the timing landscape; the
                 // adversaries get a fresh calibration either way
-                // (the strongest adversary) inside
-                // runCovertTransmission.
-                const ChannelConfig cfg = spec.toChannelConfig();
-                return runCovertTransmission(cfg, payload)
-                    .metrics.accuracy;
+                // (the strongest adversary) inside runExperiment.
+                return runExperiment(spec, nullptr, &payload)
+                    .channel.metrics.accuracy;
             });
         }
     }

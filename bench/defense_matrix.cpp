@@ -60,12 +60,12 @@ runCell(const ExperimentSpec &base, Scenario sc,
     spec.channel.scenario = sc;
     if (defense)
         applyPreset(spec, *defense);
-    ChannelConfig cfg = spec.toChannelConfig();
     CoherenceChannelDetector det;
-    cfg.detector = &det;
+    spec.channel.detector = &det;
     // Defended runs can leave the spy polling to the safety stop;
     // the margin in the manifest absorbs defense-induced slowdown.
-    const ChannelReport report = runCovertTransmission(cfg, payload);
+    const ChannelReport report =
+        runExperiment(spec, nullptr, &payload).channel;
 
     CellResult r;
     r.accuracy = report.metrics.accuracy;

@@ -80,7 +80,7 @@ main()
         const ScenarioInfo &sc = scenarioInfo(spec.channel.scenario);
         const ChannelConfig cfg = spec.toChannelConfig();
         const ChannelReport rep =
-            runCovertTransmission(cfg, pattern, &cal);
+            runExperiment(spec, &cal, &pattern).channel;
         table.row({sc.notation,
                    std::to_string(rep.spy.trace.size()),
                    std::to_string(rep.received.size()),

@@ -57,9 +57,8 @@ main(int argc, char **argv)
     std::vector<std::function<Cell()>> jobs;
     for (const ExperimentSpec &point : grid) {
         jobs.push_back([&point, &cal, &payload] {
-            const ChannelConfig cfg = point.toChannelConfig();
             const ChannelReport rep =
-                runCovertTransmission(cfg, payload, &cal);
+                runExperiment(point, &cal, &payload).channel;
             return Cell{rep.metrics.accuracy, rep.metrics.rawKbps,
                         rep.metrics.effectiveKbps};
         });

@@ -64,7 +64,7 @@ main()
         cfg.params.pollInterval = std::clamp<Tick>(ts / 4, 30, 100);
         cfg.timeout = cfg.deriveTimeout(payload.size());
         const ChannelReport bin =
-            runCovertTransmission(cfg, payload, &cal);
+            runVectorTransmission(cfg, payload, &cal);
         const SymbolReport sym =
             runSymbolTransmission(cfg, payload, {}, &cal);
         if (bin.metrics.accuracy >= 0.9)

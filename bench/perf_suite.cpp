@@ -270,8 +270,7 @@ kernelFig08EndToEnd()
 
     const Clock::time_point start = Clock::now();
     for (const ExperimentSpec &point : grid) {
-        const ChannelConfig cfg = point.toChannelConfig();
-        runCovertTransmission(cfg, payload, &cal);
+        runExperiment(point, &cal, &payload);
     }
     KernelResult r;
     r.name = "fig08_e2e";

@@ -71,15 +71,18 @@ runPoint(const ExperimentSpec &base, const CalibrationResult &cal,
     ExperimentSpec point = base;
     point.channel.noiseThreads = noise;
     point.channel.phy.profile = profile;
-    ChannelConfig cfg = point.toChannelConfig();
     DetectorTap tap;
-    cfg.taps.push_back(&tap);
+    point.channel.taps.push_back(&tap);
     Rng rng(payload_seed);
     const BitString payload =
         randomBits(rng, static_cast<std::size_t>(base.payload.bits));
 
     PointResult r;
     if (profile == PhyProfile::legacyParity) {
+        // The parity+NACK session is its own driver (an ECC
+        // experiment, not a transmit dispatch); it keeps the raw
+        // config entry point.
+        const ChannelConfig cfg = point.toChannelConfig();
         const EccReport rep =
             runEccTransmission(cfg, payload, {}, &cal);
         r.effectiveKbps = rep.effectiveKbps;
@@ -89,7 +92,8 @@ runPoint(const ExperimentSpec &base, const CalibrationResult &cal,
         r.retransmissions = rep.retransmissions;
         r.completed = rep.completed;
     } else {
-        const PhyReport rep = runPhyTransmission(cfg, payload, &cal);
+        const PhyReport rep =
+            runExperiment(point, &cal, &payload).phy;
         r.effectiveKbps = rep.effectiveKbps;
         r.payloadKbps = rep.payloadKbps;
         r.residualErrors = rep.residualErrors;

@@ -33,9 +33,8 @@ main()
         ExperimentSpec spec = base;
         applyPreset(spec, *preset);
         const ScenarioInfo &sc = scenarioInfo(spec.channel.scenario);
-        const ChannelConfig cfg = spec.toChannelConfig();
         const ChannelReport rep =
-            runCovertTransmission(cfg, payload, &cal);
+            runExperiment(spec, &cal, &payload).channel;
         const std::string threads =
             std::to_string(sc.localLoaders + sc.remoteLoaders) +
             " (" + std::to_string(sc.localLoaders) + " local, " +
@@ -46,7 +45,7 @@ main()
                    comboName(sc.csb), threads,
                    rep.completed ? "verified" : "FAILED",
                    TablePrinter::num(
-                       cfg.system.timing.cyclesToSeconds(
+                       spec.channel.system.timing.cyclesToSeconds(
                            sync_cycles) * 1e3, 3),
                    TablePrinter::pct(rep.metrics.accuracy)});
     }

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Leakage-vector matrix: every channel the plugin seam hosts, against
+ * background noise, with a CC-Hunter detector watching each run.
+ *
+ * Rows are the four leakage vectors (coherence flush+reload, the
+ * dirty-state writeback-timing channel, the LRU replacement-metadata
+ * channel, the KSM copy-on-write fault-timing channel); columns are
+ * co-located noise levels. Every cell is one full covert
+ * transmission through `runExperiment`, reporting accuracy, rate and
+ * the verdict of the tracker that matches the vector's footprint:
+ * the classic per-line flush train (coherence, dirty — both
+ * clflush-driven), the folded per-set eviction train (LRU), the
+ * per-process COW-fault train (page fault).
+ *
+ * Each cell is an independent seeded simulation fanned out over
+ * `--jobs` workers; results are bit-identical for any worker count.
+ * `--quick` trims the grid for CI (tests/golden/vectors_quick).
+ * Writes BENCH_vectors.json and the re-runnable
+ * BENCH_vectors_manifest.json.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "cohersim/attack.hh"
+#include "cohersim/harness.hh"
+
+namespace
+{
+
+using namespace csim;
+
+struct CellResult
+{
+    double accuracy = 0.0;
+    double rawKbps = 0.0;
+    double effectiveKbps = 0.0;
+    bool completed = false;
+    bool detected = false;
+    /** The vector-matched tracker's verdict (see file docs). */
+    LineVerdict verdict;
+};
+
+/** The per-cell experiment spec (before the noise column). */
+ExperimentSpec
+vectorSpec(const ExperimentSpec &base, VectorKind kind)
+{
+    ExperimentSpec spec = base;
+    if (kind == VectorKind::coherence) {
+        // No coherence-quick preset exists (it is the default
+        // everywhere); pin the same operating point dirty-quick
+        // uses so the two clflush-driven channels compare directly.
+        spec.rateKbps = 500;
+        spec.timeoutMargin = 20;
+        spec.payload.bits = 64;
+        return spec;
+    }
+    const Preset *preset =
+        findPreset(std::string(vectorName(kind)) + "-quick");
+    applyPreset(spec, *preset);
+    return spec;
+}
+
+CellResult
+runCell(const ExperimentSpec &spec_in, VectorKind kind, int noise,
+        const CalibrationResult &cal)
+{
+    ExperimentSpec spec = spec_in;
+    spec.channel.noiseThreads = noise;
+    DetectorParams params;
+    params.trackEvictions = true;
+    params.evictionFoldBytes =
+        spec.channel.system.llc.numSets() * lineBytes;
+    params.trackFaults = true;
+    CoherenceChannelDetector det(params);
+    spec.channel.detector = &det;
+    const ChannelReport report =
+        runExperiment(spec, &cal).channel;
+
+    CellResult r;
+    r.accuracy = report.metrics.accuracy;
+    r.rawKbps = report.metrics.rawKbps;
+    r.effectiveKbps = report.metrics.effectiveKbps;
+    r.completed = report.completed;
+    r.detected = det.anySuspicious();
+    switch (kind) {
+      case VectorKind::coherence:
+      case VectorKind::dirty:
+        r.verdict = det.verdict(lineAlign(report.shared.paddr));
+        break;
+      case VectorKind::lru:
+        r.verdict = det.evictionVerdict(report.shared.paddr);
+        break;
+      case VectorKind::pagefault: {
+        // Two COW-fault trains (trojan and spy); report the longer.
+        for (const LineVerdict &v : det.suspiciousFaultPids()) {
+            if (v.flushes > r.verdict.flushes)
+                r.verdict = v;
+        }
+        break;
+      }
+    }
+    return r;
+}
+
+const char *
+trackerName(VectorKind kind)
+{
+    switch (kind) {
+      case VectorKind::coherence:
+      case VectorKind::dirty:
+        return "flush-train";
+      case VectorKind::lru:
+        return "eviction-train";
+      case VectorKind::pagefault:
+        return "fault-train";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace csim;
+
+    RunnerOptions opts = RunnerOptions::fromArgs(argc, argv);
+    opts.label = "vectors";
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    // Shared cell baseline: seed 2018; each cell then applies its
+    // vector's quick preset (payload size, rate, timeout policy).
+    ConfigResolver resolver;
+    resolver.applyOverride("system.seed", "2018", "default");
+    resolver.dumpFile("BENCH_vectors_manifest.json");
+    const ExperimentSpec &base = resolver.spec();
+    base.validate();
+
+    const std::vector<VectorKind> vectors = {
+        VectorKind::coherence, VectorKind::dirty, VectorKind::lru,
+        VectorKind::pagefault};
+    const std::vector<int> noise_levels =
+        quick ? std::vector<int>{0} : std::vector<int>{0, 2};
+
+    // One calibration per vector, shared across its noise cells:
+    // calibration runs on a scratch machine, so the noise column
+    // never perturbs it.
+    std::vector<CalibrationResult> cals;
+    std::vector<ExperimentSpec> specs;
+    for (VectorKind kind : vectors) {
+        specs.push_back(vectorSpec(base, kind));
+        cals.push_back(makeLeakageVector(kind)->calibrate(
+            specs.back().toChannelConfig()));
+    }
+
+    std::cout << "== Leakage-vector matrix: every plugin channel x "
+                 "background noise, CC-Hunter watching ==\n\n";
+
+    std::vector<std::function<CellResult()>> jobs;
+    for (std::size_t v = 0; v < vectors.size(); ++v) {
+        for (const int noise : noise_levels) {
+            jobs.push_back([&specs, &cals, &vectors, v, noise] {
+                return runCell(specs[v], vectors[v], noise,
+                               cals[v]);
+            });
+        }
+    }
+    double wall = 0.0;
+    const std::vector<CellResult> results =
+        runJobs(std::move(jobs), opts, &wall);
+
+    Json artifact =
+        benchArtifact("vectors", opts.resolvedJobs(), wall);
+    Json &rows = artifact["rows"];
+    TablePrinter table;
+    table.header({"vector", "noise", "accuracy", "raw Kbps",
+                  "tracker", "events", "cv", "detected"});
+    bool new_vectors_transmit = true;
+    bool quiet_channels_detected = true;
+    for (std::size_t v = 0; v < vectors.size(); ++v) {
+        const VectorKind kind = vectors[v];
+        for (std::size_t n = 0; n < noise_levels.size(); ++n) {
+            const CellResult &r =
+                results[v * noise_levels.size() + n];
+            table.row({vectorName(kind),
+                       std::to_string(noise_levels[n]),
+                       TablePrinter::pct(r.accuracy),
+                       TablePrinter::num(r.rawKbps),
+                       trackerName(kind),
+                       std::to_string(r.verdict.flushes),
+                       TablePrinter::num(r.verdict.intervalCv),
+                       r.detected ? "yes" : "NO"});
+            if (noise_levels[n] == 0) {
+                if (kind != VectorKind::coherence &&
+                    (!r.completed || r.accuracy < 0.9))
+                    new_vectors_transmit = false;
+                quiet_channels_detected =
+                    quiet_channels_detected && r.detected;
+            }
+            Json row = Json::object();
+            row["vector"] = vectorName(kind);
+            row["noise_threads"] =
+                static_cast<std::int64_t>(noise_levels[n]);
+            row["accuracy"] = r.accuracy;
+            row["raw_kbps"] = r.rawKbps;
+            row["effective_kbps"] = r.effectiveKbps;
+            row["completed"] = r.completed;
+            row["detected"] = r.detected;
+            row["tracker"] = trackerName(kind);
+            row["tracker_events"] =
+                static_cast<std::int64_t>(r.verdict.flushes);
+            row["tracker_interval_cv"] = r.verdict.intervalCv;
+            row["tracker_alternation"] = r.verdict.alternation;
+            row["tracker_suspicious"] = r.verdict.suspicious;
+            rows.push(std::move(row));
+        }
+    }
+    artifact["new_vectors_transmit"] = new_vectors_transmit;
+    artifact["quiet_channels_detected"] = quiet_channels_detected;
+    table.print(std::cout);
+    writeJsonFile("BENCH_vectors.json", artifact);
+    std::cout << "\n[" << results.size() << " transmissions, "
+              << TablePrinter::num(wall, 2) << "s wall on "
+              << opts.resolvedJobs()
+              << " worker(s); BENCH_vectors.json + "
+                 "BENCH_vectors_manifest.json written]\n";
+    std::cout << "\nAcceptance: dirty/lru/pagefault transmit at "
+                 ">=90% on a quiet machine: "
+              << (new_vectors_transmit ? "HOLDS" : "VIOLATED")
+              << "; CC-Hunter flags every quiet channel: "
+              << (quiet_channels_detected ? "HOLDS" : "VIOLATED")
+              << "\n";
+    std::cout
+        << "\nReading the matrix: the two clflush-driven channels "
+           "(coherence, dirty) leave the classic per-line flush "
+           "train. The LRU channel never flushes — its footprint is "
+           "a periodic, re-referenced back-invalidation train that "
+           "rotates through the trojan's conflict pool, so the "
+           "detector folds eviction keys by LLC set to see it as "
+           "one train. The page-fault channel lives entirely in the "
+           "OS layer: both adversaries split their mergeable page "
+           "once per action slot, a per-process COW-fault train "
+           "(scan-race refault bursts coalesced away).\n";
+    return quick || (new_vectors_transmit &&
+                     quiet_channels_detected)
+               ? 0
+               : 1;
+}

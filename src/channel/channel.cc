@@ -1,5 +1,6 @@
 #include "channel/channel.hh"
 
+#include "channel/vector.hh"
 #include "common/logging.hh"
 #include "detect/cchunter.hh"
 #include "os/kernel.hh"
@@ -87,15 +88,33 @@ void
 ExperimentRig::initShared(const ChannelConfig &cfg, Combo csc,
                           std::uint64_t pattern_seed)
 {
-    shared = establishSharedBlock(machine, *trojanProc, *spyProc,
-                                  cfg.sharing, pattern_seed);
+    // The vector decides what "shared state" means: the page-fault
+    // channel needs no shared mapping at all (its plugin creates two
+    // private mergeable pages), the dirty-state channel needs a
+    // *writable* shared page (the trojan modulates the dirty bit, and
+    // KSM sharing would COW-split on the first store), the coherence
+    // and LRU channels use the classic read-only/KSM path.
+    if (cfg.vector == VectorKind::pagefault)
+        return;
+    if (cfg.vector == VectorKind::dirty) {
+        shared =
+            establishWritableBlock(machine, *trojanProc, *spyProc);
+    } else {
+        shared = establishSharedBlock(machine, *trojanProc, *spyProc,
+                                      cfg.sharing, pattern_seed);
+    }
     // Adversary optimization: within the 64 lines of the shared
     // page, pick one homed on the socket where the communication
     // combo's loaders run, so re-establishment after each spy flush
-    // fetches from local memory.
+    // fetches from local memory. The non-coherence vectors keep
+    // their probes on the spy's socket, so they always pick a
+    // socket-0-homed line.
     if (cfg.system.timing.numaInterleave && cfg.system.sockets > 1) {
         const SocketId want =
-            comboRemoteLoaders(csc) > 0 ? 1 : 0;
+            cfg.vector == VectorKind::coherence &&
+                    comboRemoteLoaders(csc) > 0
+                ? 1
+                : 0;
         const PAddr base = shared.paddr;
         for (unsigned off = 0; off < pageBytes; off += lineBytes) {
             const SocketId home = static_cast<SocketId>(
@@ -221,87 +240,14 @@ ExperimentRig::~ExperimentRig()
 }
 
 ChannelReport
-runCovertTransmission(const ChannelConfig &cfg_in,
+runCovertTransmission(const ChannelConfig &cfg,
                       const BitString &payload,
                       const CalibrationResult *cal)
 {
-    // The llc-notify defence is a hardware change: apply it to the
-    // timing model before anything (calibration included) samples it.
-    ChannelConfig cfg = cfg_in;
-    if (cfg.defense == Defense::llcNotify)
-        cfg.system.timing.llcNotifiedOfUpgrade = true;
-
-    // A hamming profile (or the adaptive controller, which never
-    // picks legacy-parity) reroutes the whole transmission through
-    // the framed FEC stack (src/phy); runPhyTransmission re-applies
-    // the defence, so hand the original config over untouched.
-    if (cfg.phy.profile != PhyProfile::legacyParity ||
-        cfg.phy.adaptive) {
-        ChannelReport report;
-        runPhyTransmission(cfg_in, payload, cal, &report);
-        return report;
-    }
-
-    // The adversaries calibrate bands through self-measurement ahead
-    // of time (paper §VII-B) — on a quiet machine.
-    CalibrationResult local_cal;
-    if (!cal) {
-        local_cal = calibrate(cfg.system, 400, cfg.params);
-        cal = &local_cal;
-    }
-
-    const ScenarioInfo &scenario = scenarioInfo(cfg.scenario);
-    ExperimentRig rig(cfg, scenario.localLoaders,
-                      scenario.remoteLoaders, scenario.csc);
-
-    ChannelReport report;
-    report.sent = payload;
-    report.shared = rig.shared;
-
-    // Retry-cost plumbing: count NACK/retransmit milestones off the
-    // bus into the metrics. The handler only ever fires during
-    // sched.runUntilFinished below, so capturing locals is safe.
-    std::uint64_t nacks = 0, retransmits = 0;
-    rig.machine.mem.trace().subscribe(
-        categoryBit(TraceCategory::channel),
-        [&nacks, &retransmits](const TraceEvent &ev) {
-            if (ev.type == TraceEventType::chNack)
-                ++nacks;
-            else if (ev.type == TraceEventType::chRetransmit)
-                ++retransmits;
-        });
-
-    rig.machine.kernel.spawnThread(
-        rig.machine.sched, "trojan.ctl", rig.plan.controller,
-        *rig.trojanProc, [&](ThreadApi api) {
-            return trojanBody(api, *rig.crew, rig.shared.trojanVa,
-                              scenario, *cal, cfg.params,
-                              cfg.system.timing, payload,
-                              report.trojan);
-        });
-    SimThread *spy_thread = rig.machine.kernel.spawnThread(
-        rig.machine.sched, "spy", rig.plan.spy, *rig.spyProc,
-        [&](ThreadApi api) {
-            return spyBody(api, rig.shared.spyVa, scenario, *cal,
-                           cfg.params, report.spy, cfg.collectTrace);
-        });
-
-    rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
-    report.completed = spy_thread->finished;
-    rig.crew->stopAll();
-
-    report.received = report.spy.bits;
-    report.metrics = computeMetrics(
-        report.sent, report.received, report.trojan.txStart,
-        report.trojan.txEnd ? report.trojan.txEnd
-                            : rig.machine.sched.now(),
-        cfg.system.timing);
-    report.metrics.nacks = nacks;
-    report.metrics.retransmits = retransmits;
-    report.counters = collectCounters(rig.machine, cfg.recorder);
-    addChannelCounters(report.counters, rig.counterPrefix(),
-                       report.metrics);
-    return report;
+    // Deprecated shim: the whole single-pair flow (llc-notify timing
+    // change, PHY rerouting, calibration fallback, rig, spawn,
+    // metrics) lives in the vector-agnostic driver now.
+    return runVectorTransmission(cfg, payload, cal);
 }
 
 } // namespace csim

@@ -23,6 +23,7 @@
 #include "channel/sharing.hh"
 #include "channel/spy.hh"
 #include "channel/trojan.hh"
+#include "channel/vector_kind.hh"
 #include "common/bit_string.hh"
 #include "mem/params.hh"
 #include "phy/phy_config.hh"
@@ -58,6 +59,13 @@ const char *defenseName(Defense d);
 struct ChannelConfig
 {
     SystemConfig system;
+    /**
+     * Which leakage vector carries the bits (channel/vector.hh).
+     * The coherence default keeps every classic code path; the
+     * sibling vectors reuse the same rig, noise, defence, fleet and
+     * detector machinery through the plugin seam.
+     */
+    VectorKind vector = VectorKind::coherence;
     Scenario scenario = Scenario::lexcC_lshB;
     ChannelParams params;
     SharingMode sharing = SharingMode::explicitShared;
@@ -170,6 +178,10 @@ struct ChannelReport
 
 /**
  * Run one covert transmission of @p payload.
+ *
+ * @deprecated Thin shim over runVectorTransmission
+ * (channel/vector.hh), kept for one release; new callers should use
+ * runExperiment (channel/experiment.hh) or runVectorTransmission.
  *
  * @param cfg experiment configuration.
  * @param payload bits the trojan exfiltrates.

@@ -1,0 +1,43 @@
+#include "channel/experiment.hh"
+
+#include "channel/vector.hh"
+
+namespace csim
+{
+
+const char *
+experimentKindName(ExperimentKind k)
+{
+    switch (k) {
+      case ExperimentKind::single: return "single";
+      case ExperimentKind::phy: return "phy";
+      case ExperimentKind::fleet: return "fleet";
+    }
+    return "?";
+}
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec, const CalibrationResult *cal,
+              const BitString *payload)
+{
+    ExperimentResult out;
+    if (spec.fleet.pairs > 1) {
+        out.kind = ExperimentKind::fleet;
+        out.fleet = runFleet(spec.toFleetConfig(), cal);
+        return out;
+    }
+    const ChannelConfig cfg = spec.toChannelConfig();
+    const BitString bits = payload ? *payload : spec.makePayload();
+    if (cfg.vector == VectorKind::coherence &&
+        (cfg.phy.profile != PhyProfile::legacyParity ||
+         cfg.phy.adaptive)) {
+        out.kind = ExperimentKind::phy;
+        out.phy = runPhyTransmission(cfg, bits, cal, &out.channel);
+        return out;
+    }
+    out.kind = ExperimentKind::single;
+    out.channel = runVectorTransmission(cfg, bits, cal);
+    return out;
+}
+
+} // namespace csim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The one-call experiment dispatcher: `runExperiment(spec)` resolves
+ * a declarative ExperimentSpec and routes it to the right driver —
+ * the single-pair vector transmission (channel/vector.hh), the PHY
+ * channel stack (phy/phy_channel.hh) or the multi-tenant fleet
+ * orchestrator (channel/fleet.hh) — returning one sum-type result.
+ *
+ * This sits at the top of the channel stack, one layer above the
+ * config resolution it consumes; everything below it stays callable
+ * directly (runVectorTransmission for a raw ChannelConfig, runFleet
+ * for a raw FleetConfig), and the pre-redesign entry points
+ * (runCovertTransmission, bare runPhyTransmission calls) remain as
+ * thin deprecated shims for one release.
+ */
+
+#ifndef COHERSIM_CHANNEL_EXPERIMENT_HH
+#define COHERSIM_CHANNEL_EXPERIMENT_HH
+
+#include "channel/channel.hh"
+#include "channel/fleet.hh"
+#include "config/experiment_spec.hh"
+#include "phy/phy_channel.hh"
+
+namespace csim
+{
+
+/** Which driver an ExperimentSpec resolved to. */
+enum class ExperimentKind : std::uint8_t
+{
+    single,  //!< one pair, raw modulation (any leakage vector)
+    phy,     //!< one pair through the framed FEC stack
+    fleet,   //!< N concurrent pairs on one machine
+};
+
+const char *experimentKindName(ExperimentKind k);
+
+/**
+ * Everything one dispatched experiment produced. Exactly one branch
+ * is authoritative, named by @ref kind; the others stay
+ * default-constructed — except that a PHY run also fills @ref
+ * channel with the common transport view (metrics, counters,
+ * trojan/spy results), like runPhyTransmission's channel_report
+ * out-param always has.
+ */
+struct ExperimentResult
+{
+    ExperimentKind kind = ExperimentKind::single;
+    ChannelReport channel;
+    PhyReport phy;
+    FleetReport fleet;
+
+    /** Did the authoritative run finish before its safety stop? */
+    bool
+    completed() const
+    {
+        return kind == ExperimentKind::fleet ? fleet.completed
+                                             : channel.completed;
+    }
+};
+
+/**
+ * Resolve @p spec and run it end to end.
+ *
+ * Dispatch order: fleet.pairs > 1 runs the fleet; a coherence-vector
+ * spec with a non-legacy PHY profile (or the adaptive controller)
+ * runs the PHY stack; everything else runs one plain vector
+ * transmission.
+ *
+ * @param spec the declarative experiment description.
+ * @param cal pre-computed calibration to reuse across a sweep;
+ *            calibrated per the spec's vector when null.
+ * @param payload overrides spec.makePayload() when non-null (sweep
+ *        benches transmit fixed reference patterns); ignored on the
+ *        fleet path, where pair payloads are derived per pair.
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec,
+                               const CalibrationResult *cal = nullptr,
+                               const BitString *payload = nullptr);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_EXPERIMENT_HH

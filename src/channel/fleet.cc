@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
+#include "channel/vector.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "os/kernel.hh"
@@ -50,10 +52,12 @@ runFleet(const FleetConfig &cfg_in, const CalibrationResult *cal)
     if (cfg.base.defense == Defense::llcNotify)
         cfg.base.system.timing.llcNotifiedOfUpgrade = true;
 
+    // Every pair drives the same leakage vector (they probe the same
+    // microarchitecture), so one calibration serves the fleet.
     CalibrationResult local_cal;
     if (!cal) {
-        local_cal =
-            calibrate(cfg.base.system, 400, cfg.base.params);
+        local_cal = makeLeakageVector(cfg.base.vector)
+                        ->calibrate(cfg.base);
         cal = &local_cal;
     }
 
@@ -80,11 +84,17 @@ runFleet(const FleetConfig &cfg_in, const CalibrationResult *cal)
     // hold pointers into it for the whole run.
     struct PairRun
     {
+        /** Per-pair resolved config; VectorRun keeps a reference. */
+        ChannelConfig cfg;
+        /** This pair's plugin instance (vectors carry run state). */
+        std::unique_ptr<LeakageVector> vec;
         std::unique_ptr<ExperimentRig> rig;
         const ScenarioInfo *scenario = nullptr;
         BitString payload;
         TrojanResult trojan;
         SpyResult spy;
+        /** Bound after rig + payload exist; stable for the run. */
+        std::optional<VectorRun> ctx;
         SimThread *spyThread = nullptr;
     };
     std::vector<std::unique_ptr<PairRun>> runs;
@@ -98,14 +108,16 @@ runFleet(const FleetConfig &cfg_in, const CalibrationResult *cal)
                 : cfg.scenarioMix[static_cast<std::size_t>(k) %
                                   cfg.scenarioMix.size()];
         run->scenario = &scenarioInfo(sc);
-        ChannelConfig pcfg = cfg.base;
-        pcfg.scenario = sc;
+        run->cfg = cfg.base;
+        run->cfg.scenario = sc;
+        run->vec = makeLeakageVector(cfg.base.vector);
         // Distinct per-pair share patterns: identical patterns would
         // let KSM merge co-resident pairs' pages with *each other*,
         // collapsing N channels onto one physical line.
         run->rig = std::make_unique<ExperimentRig>(
-            machine, pcfg, fleetCorePlan(cfg.base.system, k),
-            run->scenario->localLoaders, run->scenario->remoteLoaders,
+            machine, run->cfg, fleetCorePlan(cfg.base.system, k),
+            run->vec->localLoaders(*run->scenario),
+            run->vec->remoteLoaders(*run->scenario),
             run->scenario->csc, id,
             deriveSeed(cfg.base.system.seed ^ 0x6b5fca37, id));
         // Payload from the pair's own seed stream (the + 1 mirrors
@@ -169,31 +181,29 @@ runFleet(const FleetConfig &cfg_in, const CalibrationResult *cal)
         const std::uint32_t id = rig.pairId;
         const Tick offset =
             cfg.staggerCycles * static_cast<Tick>(k);
-        const CalibrationResult *pair_cal = cal;
-        const ChannelParams params = cfg.base.params;
-        const TimingParams timing = cfg.base.system.timing;
+        // Bind the pair's run context and let the vector stake out
+        // its per-pair state (conflict sets, slot clocks, daemon
+        // helpers) with the stagger offset as its epoch base.
+        run->ctx.emplace(VectorRun{run->cfg, *run->scenario, *cal,
+                                   run->payload, rig, run->trojan,
+                                   run->spy});
+        run->ctx->startAt = offset;
+        run->vec->prepare(*run->ctx);
         SimThread *trojan_thread = machine.kernel.spawnThread(
             machine.sched, msgCat("trojan.ctl.p", id),
             rig.plan.controller, *rig.trojanProc,
-            [run, offset, pair_cal, params,
-             timing](ThreadApi api) -> Task {
+            [run, offset](ThreadApi api) -> Task {
                 if (offset > 0)
                     co_await api.spin(offset);
-                co_await trojanBody(
-                    api, *run->rig->crew, run->rig->shared.trojanVa,
-                    *run->scenario, *pair_cal, params, timing,
-                    run->payload, run->trojan);
+                co_await run->vec->trojanTask(api, *run->ctx);
             });
         trojan_thread->pairTag = id;
         run->spyThread = machine.kernel.spawnThread(
             machine.sched, msgCat("spy.p", id), rig.plan.spy,
-            *rig.spyProc,
-            [run, offset, pair_cal, params](ThreadApi api) -> Task {
+            *rig.spyProc, [run, offset](ThreadApi api) -> Task {
                 if (offset > 0)
                     co_await api.spin(offset);
-                co_await spyBody(api, run->rig->shared.spyVa,
-                                 *run->scenario, *pair_cal, params,
-                                 run->spy, false);
+                co_await run->vec->spyTask(api, *run->ctx);
             });
         run->spyThread->pairTag = id;
     }

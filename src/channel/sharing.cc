@@ -70,6 +70,22 @@ sharingModeName(SharingMode m)
 }
 
 SharedBlock
+establishWritableBlock(Machine &machine, Process &trojan, Process &spy)
+{
+    SharedBlock out;
+    PhysMem &phys = machine.kernel.phys();
+    const PAddr page = phys.allocPage();
+    out.trojanVa = trojan.mapPhysical({page}, /*writable=*/true);
+    out.spyVa = spy.mapPhysical({page}, /*writable=*/true);
+    // mapPhysical took one reference per process; drop the allocation
+    // reference so the page dies with its last mapping.
+    phys.release(page);
+    out.paddr = page;
+    publishShareEstablished(machine, out);
+    return out;
+}
+
+SharedBlock
 establishSharedBlock(Machine &machine, Process &trojan, Process &spy,
                      SharingMode mode, std::uint64_t pattern_seed)
 {

@@ -65,6 +65,19 @@ SharedBlock establishSharedBlock(Machine &machine, Process &trojan,
                                  Process &spy, SharingMode mode,
                                  std::uint64_t pattern_seed);
 
+/**
+ * Establish a *writable* shared page between @p trojan and @p spy.
+ *
+ * Some leakage vectors (the dirty-state channel) require both sides
+ * to be able to store to the shared line: the trojan modulates the
+ * line's dirty bit, which a read-only mapping cannot express. KSM
+ * sharing is inherently incompatible with stores (the first write
+ * COW-splits the merge), so this always maps one freshly allocated
+ * physical page into both address spaces read-write.
+ */
+SharedBlock establishWritableBlock(Machine &machine, Process &trojan,
+                                   Process &spy);
+
 } // namespace csim
 
 #endif // COHERSIM_CHANNEL_SHARING_HH

@@ -1,0 +1,204 @@
+#include "channel/vector.hh"
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "detect/cchunter.hh"
+#include "os/kernel.hh"
+#include "phy/phy_channel.hh"
+
+namespace csim
+{
+
+const char *
+vectorName(VectorKind k)
+{
+    switch (k) {
+      case VectorKind::coherence: return "coherence";
+      case VectorKind::dirty: return "dirty";
+      case VectorKind::lru: return "lru";
+      case VectorKind::pagefault: return "pagefault";
+    }
+    return "?";
+}
+
+VectorKind
+vectorFromName(const std::string &name)
+{
+    for (int i = 0; i < numVectorKinds; ++i) {
+        const auto k = static_cast<VectorKind>(i);
+        if (name == vectorName(k))
+            return k;
+    }
+    throw std::invalid_argument(
+        msgCat("unknown leakage vector '", name, "'"));
+}
+
+namespace
+{
+
+/**
+ * The paper's coherence-state channel, ported onto the plugin seam.
+ * Every hook forwards to the classic trojan/spy/calibration code so
+ * the operation sequence — and with it every committed golden — is
+ * bit-identical to the pre-plugin driver.
+ */
+class CoherenceVector final : public LeakageVector
+{
+  public:
+    VectorKind kind() const override { return VectorKind::coherence; }
+
+    CalibrationResult
+    calibrate(const ChannelConfig &cfg) const override
+    {
+        return csim::calibrate(cfg.system, 400, cfg.params);
+    }
+
+    int
+    localLoaders(const ScenarioInfo &sc) const override
+    {
+        return sc.localLoaders;
+    }
+
+    int
+    remoteLoaders(const ScenarioInfo &sc) const override
+    {
+        return sc.remoteLoaders;
+    }
+
+    Task
+    trojanTask(ThreadApi api, VectorRun &run) override
+    {
+        // Returns the classic coroutine directly (no wrapper frame):
+        // the spawned body is the exact Task the pre-plugin driver
+        // spawned.
+        return trojanBody(api, *run.rig.crew, run.rig.shared.trojanVa,
+                          run.scenario, run.cal, run.cfg.params,
+                          run.cfg.system.timing, run.payload,
+                          run.trojan);
+    }
+
+    Task
+    spyTask(ThreadApi api, VectorRun &run) override
+    {
+        return spyBody(api, run.rig.shared.spyVa, run.scenario,
+                       run.cal, run.cfg.params, run.spy,
+                       run.collectTrace);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LeakageVector> makeDirtyVector();
+std::unique_ptr<LeakageVector> makeLruVector();
+std::unique_ptr<LeakageVector> makePagefaultVector();
+
+std::unique_ptr<LeakageVector>
+makeLeakageVector(VectorKind kind)
+{
+    switch (kind) {
+      case VectorKind::coherence:
+        return std::make_unique<CoherenceVector>();
+      case VectorKind::dirty: return makeDirtyVector();
+      case VectorKind::lru: return makeLruVector();
+      case VectorKind::pagefault: return makePagefaultVector();
+    }
+    fatal("unknown vector kind ", static_cast<int>(kind));
+}
+
+ChannelReport
+runVectorTransmission(const ChannelConfig &cfg_in,
+                      const BitString &payload,
+                      const CalibrationResult *cal)
+{
+    // The llc-notify defence is a hardware change: apply it to the
+    // timing model before anything (calibration included) samples it.
+    ChannelConfig cfg = cfg_in;
+    if (cfg.defense == Defense::llcNotify)
+        cfg.system.timing.llcNotifiedOfUpgrade = true;
+
+    // A hamming profile (or the adaptive controller, which never
+    // picks legacy-parity) reroutes the whole transmission through
+    // the framed FEC stack (src/phy); runPhyTransmission re-applies
+    // the defence, so hand the original config over untouched. The
+    // PHY stack rides the coherence modulator only — the other
+    // vectors' configs reject non-legacy profiles at validation.
+    if (cfg.vector == VectorKind::coherence &&
+        (cfg.phy.profile != PhyProfile::legacyParity ||
+         cfg.phy.adaptive)) {
+        ChannelReport report;
+        runPhyTransmission(cfg_in, payload, cal, &report);
+        return report;
+    }
+    fatal_if(cfg.vector != VectorKind::coherence &&
+                 (cfg.phy.profile != PhyProfile::legacyParity ||
+                  cfg.phy.adaptive),
+             "the PHY stack only modulates the coherence vector; "
+             "vector '", vectorName(cfg.vector),
+             "' needs phy.profile = legacy-parity");
+
+    const std::unique_ptr<LeakageVector> vec =
+        makeLeakageVector(cfg.vector);
+
+    // The adversaries calibrate bands through self-measurement ahead
+    // of time (paper §VII-B) — on a quiet machine.
+    CalibrationResult local_cal;
+    if (!cal) {
+        local_cal = vec->calibrate(cfg);
+        cal = &local_cal;
+    }
+
+    const ScenarioInfo &scenario = scenarioInfo(cfg.scenario);
+    ExperimentRig rig(cfg, vec->localLoaders(scenario),
+                      vec->remoteLoaders(scenario), scenario.csc);
+
+    ChannelReport report;
+    report.sent = payload;
+    report.shared = rig.shared;
+
+    // Retry-cost plumbing: count NACK/retransmit milestones off the
+    // bus into the metrics. The handler only ever fires during
+    // sched.runUntilFinished below, so capturing locals is safe.
+    std::uint64_t nacks = 0, retransmits = 0;
+    rig.machine.mem.trace().subscribe(
+        categoryBit(TraceCategory::channel),
+        [&nacks, &retransmits](const TraceEvent &ev) {
+            if (ev.type == TraceEventType::chNack)
+                ++nacks;
+            else if (ev.type == TraceEventType::chRetransmit)
+                ++retransmits;
+        });
+
+    VectorRun run{cfg,        scenario,   *cal,
+                  payload,    rig,        report.trojan,
+                  report.spy, cfg.collectTrace};
+    vec->prepare(run);
+
+    rig.machine.kernel.spawnThread(
+        rig.machine.sched, "trojan.ctl", rig.plan.controller,
+        *rig.trojanProc, [&](ThreadApi api) {
+            return vec->trojanTask(api, run);
+        });
+    SimThread *spy_thread = rig.machine.kernel.spawnThread(
+        rig.machine.sched, "spy", rig.plan.spy, *rig.spyProc,
+        [&](ThreadApi api) { return vec->spyTask(api, run); });
+
+    rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
+    report.completed = spy_thread->finished;
+    rig.crew->stopAll();
+
+    report.received = report.spy.bits;
+    report.metrics = computeMetrics(
+        report.sent, report.received, report.trojan.txStart,
+        report.trojan.txEnd ? report.trojan.txEnd
+                            : rig.machine.sched.now(),
+        cfg.system.timing);
+    report.metrics.nacks = nacks;
+    report.metrics.retransmits = retransmits;
+    report.counters = collectCounters(rig.machine, cfg.recorder);
+    addChannelCounters(report.counters, rig.counterPrefix(),
+                       report.metrics);
+    return report;
+}
+
+} // namespace csim

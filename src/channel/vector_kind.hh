@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The leakage-vector family the channel layer can host. Kept in its
+ * own header so ChannelConfig can name a vector without pulling in
+ * the full plugin interface (channel/vector.hh), which itself needs
+ * ChannelConfig.
+ */
+
+#ifndef COHERSIM_CHANNEL_VECTOR_KIND_HH
+#define COHERSIM_CHANNEL_VECTOR_KIND_HH
+
+#include <cstdint>
+#include <string>
+
+namespace csim
+{
+
+/**
+ * Which microarchitectural state the trojan modulates and the spy
+ * times. Each kind is implemented by a LeakageVector plugin
+ * (channel/vector.hh); `coherence` is the paper's channel and the
+ * default everywhere.
+ */
+enum class VectorKind : std::uint8_t
+{
+    coherence,  //!< coherence-state flush+reload (the paper)
+    dirty,      //!< E-vs-M writeback timing of a shared line (Cui)
+    lru,        //!< replacement-metadata channel (Xiong & Szefer)
+    pagefault,  //!< COW-fault timing via KSM merging (Swaminathan)
+};
+
+inline constexpr int numVectorKinds = 4;
+
+/** Printable name: coherence, dirty, lru, pagefault. */
+const char *vectorName(VectorKind k);
+
+/** Parse a vector name; throws std::invalid_argument on others. */
+VectorKind vectorFromName(const std::string &name);
+
+} // namespace csim
+
+#endif // COHERSIM_CHANNEL_VECTOR_KIND_HH

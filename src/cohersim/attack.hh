@@ -19,6 +19,7 @@
 #include "channel/combo.hh"
 #include "channel/conflict.hh"
 #include "channel/ecc.hh"
+#include "channel/experiment.hh"
 #include "channel/fleet.hh"
 #include "channel/metrics.hh"
 #include "channel/noise.hh"
@@ -28,6 +29,7 @@
 #include "channel/spy.hh"
 #include "channel/symbols.hh"
 #include "channel/trojan.hh"
+#include "channel/vector.hh"
 
 // Defences.
 #include "detect/cchunter.hh"

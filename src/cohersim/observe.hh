@@ -26,5 +26,6 @@
 #include "obs/obs_config.hh"
 #include "obs/report.hh"
 #include "obs/timeseries.hh"
+#include "obs/vector_bands.hh"
 
 #endif // COHERSIM_COHERSIM_OBSERVE_HH

@@ -645,6 +645,20 @@ FieldRegistry::FieldRegistry()
         {"remap_period"}));
 
     // --- channel: scenario and transmission setup ----------------------
+    add(makeChoice(
+        "channel.vector", {"coherence", "dirty", "lru", "pagefault"},
+        "leakage vector carrying the bits (channel/vector.hh): "
+        "coherence-state timing, dirty-state writeback timing, "
+        "replacement-metadata (LRU) eviction, or KSM copy-on-write "
+        "fault timing",
+        [](const ExperimentSpec &s) -> FieldValue {
+            return std::string(vectorName(s.channel.vector));
+        },
+        [](ExperimentSpec &s, const FieldValue &v) {
+            s.channel.vector =
+                vectorFromName(std::get<std::string>(v));
+        },
+        {"vector"}));
     {
         std::vector<std::string> notations;
         for (const ScenarioInfo &sc : allScenarios())

@@ -141,6 +141,26 @@ buildPresets()
           {"payload.bits", "256"},
           {"channel.timeout_margin", "20"}}});
     presets.push_back(
+        {"dirty-quick",
+         "dirty-state vector smoke: E-vs-M writeback-timing "
+         "channel at 500 Kbps on a quiet machine",
+         {{"channel.vector", "dirty"},
+          {"channel.rate_kbps", "500"},
+          {"payload.bits", "64"},
+          {"channel.timeout_margin", "20"}}});
+    presets.push_back(
+        {"lru-quick",
+         "LRU-state vector smoke: replacement-metadata channel "
+         "(needs mem.replacement=lru/plru to function)",
+         {{"channel.vector", "lru"},
+          {"payload.bits", "48"}}});
+    presets.push_back(
+        {"pagefault-quick",
+         "page-fault vector smoke: KSM copy-on-write fault-timing "
+         "channel",
+         {{"channel.vector", "pagefault"},
+          {"payload.bits", "32"}}});
+    presets.push_back(
         {"fleet-quick",
          "multi-tenant smoke: 4 pairs + 2 noise agents on a "
          "16-core-per-socket machine",

@@ -27,9 +27,16 @@ CoherenceChannelDetector::attach(TraceBus &bus)
 {
     detach();
     bus_ = &bus;
+    // The optional trackers widen the subscription; by default the
+    // mask is mem-only and the event stream (and eventsObserved())
+    // is exactly the classic detector's.
+    std::uint32_t mask = categoryBit(TraceCategory::mem);
+    if (params_.trackEvictions)
+        mask |= categoryBit(TraceCategory::coherence);
+    if (params_.trackFaults)
+        mask |= categoryBit(TraceCategory::os);
     subId_ = bus.subscribe(
-        categoryBit(TraceCategory::mem),
-        [this](const TraceEvent &ev) { observe(ev); });
+        mask, [this](const TraceEvent &ev) { observe(ev); });
 }
 
 void
@@ -66,7 +73,8 @@ void
 CoherenceChannelDetector::observe(const TraceEvent &ev)
 {
     ++events_;
-    if (ev.type != TraceEventType::memFlush) {
+    if (ev.type == TraceEventType::memLoad ||
+        ev.type == TraceEventType::memStore) {
         // Accesses between two flushes by a *different* core feed
         // the alternation score — only track lines already being
         // flushed (bounded state).
@@ -80,22 +88,65 @@ CoherenceChannelDetector::observe(const TraceEvent &ev)
         // as alternation of the combined train.
         if (ev.core != aggregate_.lastFlusher)
             aggregate_.otherCoreTouched = true;
+        // Eviction trains score re-reference by *any* core instead:
+        // the LRU spy both primes and probes the target line; the
+        // trojan only ever touches its conflict set. The anomaly is
+        // the line being re-fetched between periodic evictions.
+        if (params_.trackEvictions) {
+            const auto et = evictions_.find(evictionKey(ev.addr));
+            if (et != evictions_.end())
+                et->second.otherCoreTouched = true;
+        }
         return;
     }
 
-    LineState &state = lines_[ev.addr];
-    feedFlush(state, ev);
-    evaluate(state, ev.addr, ev.when);
-    // Feed the combined train too, but score it out of band: the
-    // aggregate verdict models a monitor without per-line state and
-    // must not feed anySuspicious()/suspiciousLines(), whose
-    // false-positive guarantees are per line.
-    feedFlush(aggregate_, ev);
-    evaluate(aggregate_, 0, ev.when, /*count_flagged=*/false);
+    if (ev.type == TraceEventType::memFlush) {
+        LineState &state = lines_[ev.addr];
+        feedEvent(state, ev);
+        evaluate(state, ev.when, params_.minFlushes,
+                 params_.maxIntervalCv, params_.minAlternation);
+        // Feed the combined train too, but score it out of band:
+        // the aggregate verdict models a monitor without per-line
+        // state and must not feed anySuspicious()/
+        // suspiciousLines(), whose false-positive guarantees are
+        // per line.
+        feedEvent(aggregate_, ev);
+        evaluate(aggregate_, ev.when, params_.minFlushes,
+                 params_.maxIntervalCv, params_.minAlternation,
+                 /*count_flagged=*/false);
+        return;
+    }
+
+    if (params_.trackEvictions &&
+        ev.type == TraceEventType::cohBackInvalidate) {
+        LineState &state = evictions_[evictionKey(ev.addr)];
+        feedEvent(state, ev);
+        evaluate(state, ev.when, params_.minEvictions,
+                 params_.maxEvictionCv, params_.minAlternation);
+        return;
+    }
+
+    if (params_.trackFaults &&
+        ev.type == TraceEventType::osCowFault) {
+        // osCowFault: a = faulting pid. No per-address access
+        // stream exists to measure alternation against (the split
+        // retires the old mapping), so fault trains score on
+        // periodicity and length alone. Re-fault bursts (a scan
+        // racing the faulting store) collapse onto the first fault.
+        LineState &state = faults_[ev.a];
+        if (state.lastFlushAt != 0 &&
+            ev.when - state.lastFlushAt <= params_.faultCoalesce) {
+            return;
+        }
+        feedEvent(state, ev);
+        evaluate(state, ev.when, params_.minFaults,
+                 params_.maxFaultCv, /*min_alternation=*/-1.0);
+        return;
+    }
 }
 
 void
-CoherenceChannelDetector::feedFlush(LineState &state,
+CoherenceChannelDetector::feedEvent(LineState &state,
                                     const TraceEvent &ev)
 {
     if (state.lastFlushAt != 0) {
@@ -127,11 +178,13 @@ CoherenceChannelDetector::feedFlush(LineState &state,
 }
 
 void
-CoherenceChannelDetector::evaluate(LineState &state, PAddr line,
-                                   Tick when, bool count_flagged)
+CoherenceChannelDetector::evaluate(LineState &state, Tick when,
+                                   std::uint64_t min_events,
+                                   double max_cv,
+                                   double min_alternation,
+                                   bool count_flagged)
 {
-    (void)line;
-    if (state.suspicious || state.flushes < params_.minFlushes)
+    if (state.suspicious || state.flushes < min_events)
         return;
     const double cv = intervalCv(state);
     const double alternation =
@@ -139,8 +192,9 @@ CoherenceChannelDetector::evaluate(LineState &state, PAddr line,
             ? static_cast<double>(state.alternations) /
                   static_cast<double>(state.flushes - 1)
             : 0.0;
-    if (cv <= params_.maxIntervalCv &&
-        alternation >= params_.minAlternation) {
+    if (cv <= max_cv &&
+        (min_alternation < 0.0 ||
+         alternation >= min_alternation)) {
         state.suspicious = true;
         state.flaggedAt = when;
         if (count_flagged)
@@ -187,6 +241,62 @@ CoherenceChannelDetector::verdict(PAddr line) const
         return v;
     }
     return verdictOf(it->second, line);
+}
+
+std::vector<LineVerdict>
+CoherenceChannelDetector::suspiciousEvictionLines() const
+{
+    std::vector<LineVerdict> out;
+    for (const auto &[line, state] : evictions_) {
+        if (state.suspicious)
+            out.push_back(verdictOf(state, line));
+    }
+    return out;
+}
+
+std::vector<LineVerdict>
+CoherenceChannelDetector::suspiciousFaultPids() const
+{
+    std::vector<LineVerdict> out;
+    for (const auto &[pid, state] : faults_) {
+        if (state.suspicious)
+            out.push_back(verdictOf(state, pid));
+    }
+    return out;
+}
+
+PAddr
+CoherenceChannelDetector::evictionKey(PAddr addr) const
+{
+    const PAddr line = lineAlign(addr);
+    return params_.evictionFoldBytes
+               ? line % params_.evictionFoldBytes
+               : line;
+}
+
+LineVerdict
+CoherenceChannelDetector::evictionVerdict(PAddr line) const
+{
+    const PAddr key = evictionKey(line);
+    const auto it = evictions_.find(key);
+    if (it == evictions_.end()) {
+        LineVerdict v;
+        v.line = key;
+        return v;
+    }
+    return verdictOf(it->second, key);
+}
+
+LineVerdict
+CoherenceChannelDetector::faultVerdict(std::uint64_t pid) const
+{
+    const auto it = faults_.find(pid);
+    if (it == faults_.end()) {
+        LineVerdict v;
+        v.line = pid;
+        return v;
+    }
+    return verdictOf(it->second, pid);
 }
 
 LineVerdict

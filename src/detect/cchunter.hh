@@ -57,6 +57,72 @@ struct DetectorParams
     Tick maxGap = 400'000;
     /** Sliding history per line (bounded memory). */
     std::size_t historyCap = 256;
+
+    /**
+     * @name Cross-vector train tracking
+     *
+     * The flush train above is the coherence- and dirty-state
+     * channels' signature (both ride the spy's periodic clflush).
+     * The sibling vectors (channel/vector.hh) leave different
+     * recurrent patterns, scored by the same train machinery over
+     * different event alphabets. Both trackers default off: the
+     * default detector subscribes to mem events only and its event
+     * counts — and every committed golden — stay untouched.
+     */
+    /** @{ */
+    /**
+     * Track per-line LLC back-invalidation trains (subscribes the
+     * coherence category). The LRU-state channel evicts the target
+     * line once per bit frame while the spy re-primes it in every
+     * gap — a line periodically killed *and* re-fetched on a clock
+     * grid. The trojan contends through other addresses of the same
+     * set, so the flush-style ping-pong score is blind here; the
+     * gap re-reference fraction (by any core) takes its place
+     * against minAlternation.
+     */
+    bool trackEvictions = false;
+    /**
+     * Fold eviction-train keys modulo this many bytes (0 keeps
+     * exact per-line trains). Eviction channels rotate victims
+     * through a conflict set — the published back-invalidations
+     * land on the *attacker's* pool lines in round-robin, so
+     * per-line trains fragment below threshold. Folding by the
+     * LLC's way span (numSets * lineBytes) pools a whole set's
+     * back-invalidations into one train, which is also the natural
+     * per-pair attribution key in a fleet (each pair contends in
+     * its own set).
+     */
+    std::uint64_t evictionFoldBytes = 0;
+    /** Back-invalidation train length required for a verdict. */
+    std::uint64_t minEvictions = 32;
+    /**
+     * Periodicity ceiling for eviction trains. Manchester framing
+     * spaces evictions at {0.5, 1, 1.5} frames (cv ~ 0.35 for a
+     * random payload), looser than a flush clock.
+     */
+    double maxEvictionCv = 0.6;
+    /**
+     * Track per-process copy-on-write fault trains (subscribes the
+     * os category). The page-fault channel's trojan splits its
+     * mergeable page every slot and its spy every action slot —
+     * fault periodicity alone scores these (no per-address access
+     * stream exists to measure alternation against).
+     */
+    bool trackFaults = false;
+    /**
+     * Faults by one process closer together than this are one
+     * logical split: a dedup scan racing the faulting store's own
+     * latency window can re-merge the fresh copy (still content-
+     * identical to the canonical) and re-fault it immediately.
+     * Coalescing the burst keeps the train's intervals on the
+     * channel's slot grid. Must stay below the slot period.
+     */
+    Tick faultCoalesce = 8'000;
+    /** Fault-train length required for a verdict. */
+    std::uint64_t minFaults = 24;
+    /** Periodicity ceiling for fault trains. */
+    double maxFaultCv = 0.6;
+    /** @} */
 };
 
 /** Verdict for one monitored line. */
@@ -105,6 +171,28 @@ class CoherenceChannelDetector
     LineVerdict verdict(PAddr line) const;
 
     /**
+     * Back-invalidation-train verdict for @p line (LRU-state
+     * channel signature; needs params.trackEvictions). The
+     * verdict's `flushes` counts evictions and `alternation` is the
+     * gap re-reference fraction.
+     */
+    LineVerdict evictionVerdict(PAddr line) const;
+
+    /**
+     * COW-fault-train verdict for process @p pid (page-fault
+     * channel signature; needs params.trackFaults). The verdict's
+     * `line` carries the pid and `flushes` counts faults;
+     * `alternation` is always 0.
+     */
+    LineVerdict faultVerdict(std::uint64_t pid) const;
+
+    /** Flagged back-invalidation trains (cf. suspiciousLines). */
+    std::vector<LineVerdict> suspiciousEvictionLines() const;
+
+    /** Flagged COW-fault trains; each verdict's `line` is a pid. */
+    std::vector<LineVerdict> suspiciousFaultPids() const;
+
+    /**
      * Machine-aggregate verdict: the same periodicity/alternation
      * scoring applied to the *combined* flush stream, address-blind.
      * This is the multi-tenant question — per-line trains stay
@@ -139,14 +227,25 @@ class CoherenceChannelDetector
         Tick flaggedAt = 0;
     };
 
-    void evaluate(LineState &state, PAddr line, Tick when,
-                  bool count_flagged = true);
-    void feedFlush(LineState &state, const TraceEvent &ev);
+    /**
+     * Score one train against its thresholds; @p min_alternation
+     * < 0 skips the alternation requirement (fault trains).
+     */
+    void evaluate(LineState &state, Tick when,
+                  std::uint64_t min_events, double max_cv,
+                  double min_alternation, bool count_flagged = true);
+    void feedEvent(LineState &state, const TraceEvent &ev);
+    /** Eviction-train key for @p addr (line, optionally folded). */
+    PAddr evictionKey(PAddr addr) const;
     static double intervalCv(const LineState &state);
     static LineVerdict verdictOf(const LineState &state, PAddr line);
 
     DetectorParams params_;
     std::unordered_map<PAddr, LineState> lines_;
+    /** Per-line LLC back-invalidation trains (trackEvictions). */
+    std::unordered_map<PAddr, LineState> evictions_;
+    /** Per-pid COW-fault trains (trackFaults). */
+    std::unordered_map<std::uint64_t, LineState> faults_;
     /** Address-blind union of every flush train (multi-tenant). */
     LineState aggregate_;
     TraceBus *bus_ = nullptr;

@@ -87,15 +87,18 @@ void
 RunHealthMonitor::setBands(const CalibrationResult &cal)
 {
     for (Combo c : allCombos()) {
-        BandStats &slot = health_.bands[comboIndex(c)];
-        slot.hasBand = true;
-        slot.bandLo = cal.band(c).lo;
-        slot.bandHi = cal.band(c).hi;
+        setBand(comboIndex(c), cal.band(c).lo, cal.band(c).hi);
     }
-    BandStats &dram = health_.bands[dramBandSlot];
-    dram.hasBand = true;
-    dram.bandLo = cal.dramBand.lo;
-    dram.bandHi = cal.dramBand.hi;
+    setBand(dramBandSlot, cal.dramBand.lo, cal.dramBand.hi);
+}
+
+void
+RunHealthMonitor::setBand(std::size_t slot, double lo, double hi)
+{
+    BandStats &band = health_.bands.at(slot);
+    band.hasBand = true;
+    band.bandLo = lo;
+    band.bandHi = hi;
 }
 
 void

@@ -93,6 +93,15 @@ class RunHealthMonitor : public BusTap
      */
     void setBands(const CalibrationResult &cal);
 
+    /**
+     * Provide the reference band for one slot only. The
+     * non-coherence leakage vectors calibrate two symbol bands
+     * instead of the Fig. 2 combo set, and typically only one of
+     * them is machine-visible as a load latency (see
+     * obs/vector_bands.hh, which drives this).
+     */
+    void setBand(std::size_t slot, double lo, double hi);
+
     void attach(TraceBus &bus, int num_cores) override;
     void detach() override;
 

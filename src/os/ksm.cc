@@ -35,6 +35,19 @@ KsmDaemon::scanOnce(const std::vector<Process *> &processes)
             ++it;
     }
 
+    // Unstable tree, rebuilt per scan as in Linux: first sighting of
+    // a content hash is recorded here WITHOUT write-protecting the
+    // page. Only when a second identical page turns up is the first
+    // promoted to the stable tree (and made read-only COW) and the
+    // second merged onto it. Singleton pages therefore stay writable
+    // and never pay a COW fault.
+    struct UnstableEntry
+    {
+        Process *proc;
+        VAddr vpage;
+    };
+    std::unordered_map<std::uint64_t, UnstableEntry> unstable;
+
     for (Process *proc : processes) {
         // Iterate a snapshot: merging remaps entries in place but the
         // key set is unchanged, so direct iteration is safe; we copy
@@ -53,13 +66,30 @@ KsmDaemon::scanOnce(const std::vector<Process *> &processes)
             const std::uint64_t h = phys_.contentHash(m->paddr);
             auto it = stable_.find(h);
             if (it == stable_.end()) {
-                // First page with this content: it becomes the
-                // stable-tree canonical and is marked read-only COW
-                // so later writers fault and split.
-                stable_.emplace(h, m->paddr);
-                m->writable = false;
-                m->cow = true;
-                continue;
+                auto uit = unstable.find(h);
+                if (uit == unstable.end()) {
+                    unstable.emplace(h, UnstableEntry{proc, vpage});
+                    continue;
+                }
+                // Second page with this content in the same scan:
+                // promote the first sighting to the stable tree. The
+                // candidate may have been written (or even unmapped)
+                // since we recorded it, so re-look it up and re-check
+                // the content before trusting it.
+                PageMapping *first =
+                    uit->second.proc->lookup(uit->second.vpage);
+                if (!first || !first->mergeable ||
+                    phys_.contentHash(first->paddr) != h ||
+                    !phys_.samePage(first->paddr, m->paddr)) {
+                    // Stale candidate; the current page takes its
+                    // place in the unstable tree.
+                    uit->second = UnstableEntry{proc, vpage};
+                    continue;
+                }
+                first->writable = false;
+                first->cow = true;
+                it = stable_.emplace(h, first->paddr).first;
+                // fall through to merge the current page onto it
             }
             const PAddr canonical = it->second;
             if (canonical == m->paddr)

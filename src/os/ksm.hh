@@ -8,6 +8,11 @@
  * and merges them onto a single read-only copy-on-write physical
  * page. Writes to merged pages fault and are split by the kernel
  * (Kernel::store), restoring private copies.
+ *
+ * As in Linux, candidates live in a per-scan *unstable* tree while
+ * they are still singletons: a page is only write-protected and
+ * promoted to the persistent *stable* tree once a second identical
+ * page is found, so unshared mergeable pages never pay COW faults.
  */
 
 #ifndef COHERSIM_OS_KSM_HH

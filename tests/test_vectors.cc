@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the leakage-vector plugin seam (channel/vector.hh): the
+ * registry, per-vector calibration, the runExperiment dispatcher's
+ * equivalence with the classic drivers, end-to-end transmission and
+ * determinism for every non-coherence vector, the LRU channel's
+ * replacement-policy sensitivity, and the detector's cross-vector
+ * eviction/fault trains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/channel.hh"
+#include "channel/experiment.hh"
+#include "channel/vector.hh"
+#include "config/experiment_spec.hh"
+#include "detect/cchunter.hh"
+
+namespace csim
+{
+namespace
+{
+
+ExperimentSpec
+vectorSpec(VectorKind kind, long bits)
+{
+    ExperimentSpec spec;
+    spec.channel.system.seed = 1234;
+    spec.channel.vector = kind;
+    spec.payload.bits = bits;
+    if (kind == VectorKind::coherence || kind == VectorKind::dirty) {
+        spec.rateKbps = 500;
+        spec.timeoutMargin = 20;
+    }
+    return spec;
+}
+
+/** One calibration per vector, shared by the end-to-end tests. */
+const CalibrationResult &
+vectorCal(VectorKind kind)
+{
+    static CalibrationResult cals[numVectorKinds];
+    static bool done[numVectorKinds] = {};
+    const auto i = static_cast<std::size_t>(kind);
+    if (!done[i]) {
+        cals[i] = makeLeakageVector(kind)->calibrate(
+            vectorSpec(kind, 32).toChannelConfig());
+        done[i] = true;
+    }
+    return cals[i];
+}
+
+TEST(VectorRegistry, NamesRoundTrip)
+{
+    for (int i = 0; i < numVectorKinds; ++i) {
+        const auto k = static_cast<VectorKind>(i);
+        EXPECT_EQ(vectorFromName(vectorName(k)), k);
+        EXPECT_EQ(makeLeakageVector(k)->kind(), k);
+    }
+    EXPECT_THROW(vectorFromName("mesi"), std::invalid_argument);
+}
+
+TEST(VectorCalibration, ActionAndIdleBandsSeparate)
+{
+    for (const VectorKind k :
+         {VectorKind::dirty, VectorKind::lru, VectorKind::pagefault}) {
+        const CalibrationResult &cal = vectorCal(k);
+        // bands[0] is the action symbol (dirty flush / DRAM refill /
+        // COW fault), bands[1] the idle one; the action must sit
+        // clearly above the idle band or the spy cannot classify.
+        EXPECT_GT(cal.samples[0].mean(), cal.samples[1].mean())
+            << vectorName(k);
+        EXPECT_GT(actionBand(cal).lo, idleBand(cal).lo)
+            << vectorName(k);
+        EXPECT_GT(cal.samples[0].count(), 100u) << vectorName(k);
+        EXPECT_GT(cal.samples[1].count(), 100u) << vectorName(k);
+    }
+}
+
+TEST(RunExperiment, CoherenceMatchesClassicDriver)
+{
+    ExperimentSpec spec = vectorSpec(VectorKind::coherence, 40);
+    const CalibrationResult &cal = vectorCal(VectorKind::coherence);
+    const ExperimentResult via_api = runExperiment(spec, &cal);
+    const ChannelReport classic = runCovertTransmission(
+        spec.toChannelConfig(), spec.makePayload(), &cal);
+    EXPECT_EQ(via_api.kind, ExperimentKind::single);
+    EXPECT_TRUE(via_api.completed());
+    // The plugin port must not perturb the operation sequence: the
+    // same seed gives bit-identical reception and timing.
+    EXPECT_EQ(via_api.channel.sent, classic.sent);
+    EXPECT_EQ(via_api.channel.received, classic.received);
+    EXPECT_EQ(via_api.channel.trojan.txStart, classic.trojan.txStart);
+    EXPECT_EQ(via_api.channel.trojan.txEnd, classic.trojan.txEnd);
+    EXPECT_EQ(via_api.channel.metrics.accuracy,
+              classic.metrics.accuracy);
+}
+
+TEST(RunExperiment, DispatchesFleetAndPhy)
+{
+    ExperimentSpec fleet = vectorSpec(VectorKind::coherence, 16);
+    fleet.fleet.pairs = 2;
+    fleet.channel.system.coresPerSocket = 16;
+    const ExperimentResult fr =
+        runExperiment(fleet, &vectorCal(VectorKind::coherence));
+    EXPECT_EQ(fr.kind, ExperimentKind::fleet);
+    EXPECT_TRUE(fr.completed());
+    EXPECT_EQ(fr.fleet.pairs.size(), 2u);
+
+    ExperimentSpec phy = vectorSpec(VectorKind::coherence, 64);
+    phy.channel.phy.profile = PhyProfile::hammingSoft;
+    const ExperimentResult pr = runExperiment(phy);
+    EXPECT_EQ(pr.kind, ExperimentKind::phy);
+    EXPECT_TRUE(pr.completed());
+    // PHY runs fill the channel-level report too.
+    EXPECT_FALSE(pr.channel.received.empty());
+}
+
+/** End-to-end transmission for every non-coherence vector. */
+class VectorEndToEnd
+    : public ::testing::TestWithParam<VectorKind>
+{};
+
+TEST_P(VectorEndToEnd, TransmitsAccuratelyAndDeterministically)
+{
+    const VectorKind kind = GetParam();
+    const ExperimentSpec spec = vectorSpec(kind, 32);
+    const CalibrationResult &cal = vectorCal(kind);
+    const ExperimentResult a = runExperiment(spec, &cal);
+    EXPECT_TRUE(a.completed()) << vectorName(kind);
+    EXPECT_TRUE(a.channel.spy.sawTransmission) << vectorName(kind);
+    EXPECT_GE(a.channel.metrics.accuracy, 0.9) << vectorName(kind);
+    EXPECT_GT(a.channel.metrics.rawKbps, 10.0) << vectorName(kind);
+    // Same spec, fresh machine: the run is seeded end to end, so a
+    // second run reproduces the reception exactly (the property the
+    // bench-level jobs-1 vs jobs-N gate rests on).
+    const ExperimentResult b = runExperiment(spec, &cal);
+    EXPECT_EQ(a.channel.received, b.channel.received);
+    EXPECT_EQ(a.channel.trojan.txEnd, b.channel.trojan.txEnd);
+    EXPECT_EQ(a.channel.metrics.accuracy, b.channel.metrics.accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewVectors, VectorEndToEnd,
+    ::testing::Values(VectorKind::dirty, VectorKind::lru,
+                      VectorKind::pagefault),
+    [](const auto &info) {
+        return std::string(vectorName(info.param));
+    });
+
+TEST(VectorEndToEnd, LruDiesUnderRandomReplacement)
+{
+    // The LRU channel only works while the victim choice is
+    // metadata-determined; randomizing replacement is the defense.
+    ExperimentSpec spec = vectorSpec(VectorKind::lru, 48);
+    const ExperimentResult ordered =
+        runExperiment(spec, &vectorCal(VectorKind::lru));
+    EXPECT_GE(ordered.channel.metrics.accuracy, 0.9);
+
+    spec.channel.system.replacement = ReplPolicy::random;
+    // Random replacement shifts the latency mix; calibrate under
+    // the defended machine like a real adversary would.
+    const ExperimentResult randomized = runExperiment(spec);
+    EXPECT_TRUE(randomized.completed());
+    EXPECT_LE(randomized.channel.metrics.accuracy, 0.5);
+}
+
+TEST(VectorDetect, EvictionTrainFlagsLruChannel)
+{
+    ExperimentSpec spec = vectorSpec(VectorKind::lru, 48);
+    DetectorParams params;
+    params.trackEvictions = true;
+    // Fold by LLC set: the channel rotates published victims
+    // through the trojan's conflict pool, so per-line trains
+    // fragment below threshold while the per-set train carries one
+    // eviction per action frame.
+    params.evictionFoldBytes =
+        spec.channel.system.llc.numSets() * lineBytes;
+    CoherenceChannelDetector det(params);
+    spec.channel.detector = &det;
+    const ExperimentResult r =
+        runExperiment(spec, &vectorCal(VectorKind::lru));
+    EXPECT_TRUE(r.completed());
+    // The target's set sees one back-invalidation per action frame
+    // and is re-primed in every gap: a long, periodic,
+    // re-referenced eviction train.
+    const LineVerdict v =
+        det.evictionVerdict(r.channel.shared.paddr);
+    EXPECT_TRUE(v.suspicious);
+    EXPECT_GE(v.flushes, params.minEvictions);
+    EXPECT_LE(v.intervalCv, params.maxEvictionCv);
+    EXPECT_GE(v.alternation, params.minAlternation);
+    EXPECT_TRUE(det.anySuspicious());
+    EXPECT_FALSE(det.suspiciousEvictionLines().empty());
+    // The classic flush train stays silent — nothing flushes.
+    EXPECT_FALSE(det.verdict(r.channel.shared.paddr).suspicious);
+}
+
+TEST(VectorDetect, FaultTrainFlagsPagefaultChannel)
+{
+    DetectorParams params;
+    params.trackFaults = true;
+    CoherenceChannelDetector det(params);
+    ExperimentSpec spec = vectorSpec(VectorKind::pagefault, 32);
+    spec.channel.detector = &det;
+    const ExperimentResult r =
+        runExperiment(spec, &vectorCal(VectorKind::pagefault));
+    EXPECT_TRUE(r.completed());
+    // Both adversaries split their mergeable page once per action
+    // slot: two periodic per-process COW-fault trains.
+    EXPECT_TRUE(det.anySuspicious());
+    const auto flagged = det.suspiciousFaultPids();
+    ASSERT_FALSE(flagged.empty());
+    for (const LineVerdict &v : flagged) {
+        EXPECT_GE(v.flushes, params.minFaults);
+        EXPECT_LE(v.intervalCv, params.maxFaultCv);
+    }
+}
+
+TEST(VectorDetect, DefaultDetectorIgnoresCrossVectorEvents)
+{
+    // With the trackers off (the default), eviction and fault
+    // events leave no state behind even when fed directly — the
+    // default detector's behavior and goldens cannot shift.
+    CoherenceChannelDetector det;
+    const PAddr line = 0x4c0;
+    Tick now = 1'000;
+    for (int i = 0; i < 120; ++i) {
+        det.observe(TraceEvent{TraceEventType::cohBackInvalidate,
+                               TraceCategory::coherence, 0, now,
+                               line, 0, 0});
+        det.observe(TraceEvent{TraceEventType::osCowFault,
+                               TraceCategory::os, 0, now + 100,
+                               line, 7, 0});
+        now += 3'000;
+    }
+    EXPECT_FALSE(det.anySuspicious());
+    EXPECT_FALSE(det.evictionVerdict(line).suspicious);
+    EXPECT_FALSE(det.faultVerdict(7).suspicious);
+    EXPECT_EQ(det.eventsObserved(), 240u);
+}
+
+TEST(VectorDetect, SyntheticEvictionTrainNeedsReReference)
+{
+    DetectorParams params;
+    params.trackEvictions = true;
+    const PAddr line = 0x4c0;
+    // Periodic evictions with the line re-fetched in every gap:
+    // flagged.
+    {
+        CoherenceChannelDetector det(params);
+        Tick now = 1'000;
+        for (int i = 0; i < 80; ++i) {
+            det.observe(TraceEvent{
+                TraceEventType::cohBackInvalidate,
+                TraceCategory::coherence, 1, now, line, 0, 0});
+            det.observe(TraceEvent{
+                TraceEventType::memLoad, TraceCategory::mem, 0,
+                now + 500, line,
+                static_cast<std::uint64_t>(ServedBy::dram), 0});
+            now += 3'000;
+        }
+        EXPECT_TRUE(det.evictionVerdict(line).suspicious);
+    }
+    // Periodic capacity evictions with no re-reference (a line
+    // merely cycling through a thrashed set): not flagged.
+    {
+        CoherenceChannelDetector det(params);
+        Tick now = 1'000;
+        for (int i = 0; i < 80; ++i) {
+            det.observe(TraceEvent{
+                TraceEventType::cohBackInvalidate,
+                TraceCategory::coherence, 1, now, line, 0, 0});
+            now += 3'000;
+        }
+        EXPECT_FALSE(det.evictionVerdict(line).suspicious);
+        EXPECT_FALSE(det.anySuspicious());
+    }
+}
+
+} // namespace
+} // namespace csim

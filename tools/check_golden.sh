@@ -162,6 +162,26 @@ else
     settle defense_quick "$out"
 fi
 
+# The leakage-vector plugins are seeded and deterministic too: pin
+# the quick vector matrix (all four vectors on a quiet machine, with
+# the cross-vector CC-Hunter trackers; its BENCH_vectors.json must be
+# bit-identical at any --jobs) and one CLI transmit through a
+# non-coherence vector preset.
+out="$scratch/vectors_quick"
+mkdir -p "$out"
+(cd "$out" && "$cli" transmit --preset lru-quick \
+    > stdout.raw 2>&1 \
+    && "$bench_dir/vector_matrix" --quick --jobs 1 --quiet \
+    > bench_stdout.raw 2>&1)
+if [ $? -ne 0 ]; then
+    echo "check_golden: vectors_quick FAILED to run" >&2
+    status=1
+else
+    mv "$out/stdout.raw" "$out/stdout.txt"
+    mv "$out/bench_stdout.raw" "$out/bench_stdout.txt"
+    settle vectors_quick "$out"
+fi
+
 if [ "$refresh" -eq 1 ]; then
     echo "check_golden: goldens written to $golden_dir"
 elif [ "$status" -eq 0 ]; then

@@ -347,6 +347,20 @@ writeCounters(const std::string &path, const CounterRegistry &reg)
 }
 
 /**
+ * Calibrate per the spec's leakage vector: the coherence vector
+ * keeps the historical 400-sample Fig. 2 band measurement, every
+ * other vector runs its plugin's own two-band procedure.
+ */
+CalibrationResult
+calibrateFor(const ExperimentSpec &spec)
+{
+    if (spec.channel.vector == VectorKind::coherence)
+        return calibrate(spec.channel.system, 400);
+    return makeLeakageVector(spec.channel.vector)
+        ->calibrate(spec.toChannelConfig());
+}
+
+/**
  * The multi-tenant transmit path (fleet.pairs > 1): N concurrent
  * pairs on one machine, a per-pair results table and the
  * machine-aggregate CC-Hunter verdict.
@@ -354,16 +368,17 @@ writeCounters(const std::string &path, const CounterRegistry &reg)
 int
 cmdTransmitFleet(const Args &args, const ExperimentSpec &spec)
 {
-    FleetConfig cfg = spec.toFleetConfig();
+    ExperimentSpec run = spec;
     const std::string trace_path = args.str("trace", "");
     const std::string counters_path = args.str("counters", "");
     TraceRecorder recorder;
     if (!trace_path.empty())
-        cfg.base.recorder = &recorder;
-    const FleetReport rep = runFleet(cfg);
+        run.channel.recorder = &recorder;
+    const ExperimentResult result = runExperiment(run);
+    const FleetReport &rep = result.fleet;
     if (!trace_path.empty()) {
         const std::vector<TraceEvent> events = recorder.drain();
-        writePerfettoTrace(trace_path, events, cfg.base.system,
+        writePerfettoTrace(trace_path, events, run.channel.system,
                            recorder.dropped());
         std::cout << "trace:     " << events.size() << " events ("
                   << recorder.dropped() << " dropped) -> "
@@ -372,9 +387,9 @@ cmdTransmitFleet(const Args &args, const ExperimentSpec &spec)
     if (!counters_path.empty())
         writeCounters(counters_path, rep.counters);
 
-    std::cout << "fleet:     " << cfg.pairs << " pair(s), "
-              << cfg.noiseAgents << " noise agent(s), stagger "
-              << cfg.staggerCycles << " cycles\n";
+    std::cout << "fleet:     " << run.fleet.pairs << " pair(s), "
+              << run.fleet.noiseAgents << " noise agent(s), stagger "
+              << run.fleet.staggerCycles << " cycles\n";
     TablePrinter table;
     table.header({"pair", "scenario", "accuracy", "eff Kbps",
                   "retx", "detected", "done"});
@@ -428,17 +443,17 @@ cmdTransmit(const Args &args)
     const ExperimentSpec &spec = res.spec();
     if (spec.fleet.pairs > 1)
         return cmdTransmitFleet(args, spec);
-    ChannelConfig cfg = spec.toChannelConfig();
+    ExperimentSpec run = spec;
     const std::string trace_path = args.str("trace", "");
     const std::string counters_path = args.str("counters", "");
     TraceRecorder recorder;
     if (!trace_path.empty())
-        cfg.recorder = &recorder;
-    const BitString payload = spec.makePayload();
-    const ChannelReport rep = runCovertTransmission(cfg, payload);
+        run.channel.recorder = &recorder;
+    const ExperimentResult result = runExperiment(run);
+    const ChannelReport &rep = result.channel;
     if (!trace_path.empty()) {
         const std::vector<TraceEvent> events = recorder.drain();
-        writePerfettoTrace(trace_path, events, cfg.system,
+        writePerfettoTrace(trace_path, events, run.channel.system,
                            recorder.dropped());
         const TraceQuery query(events);
         std::cout << "trace:     " << events.size() << " events ("
@@ -454,13 +469,21 @@ cmdTransmit(const Args &args)
     }
     if (!counters_path.empty())
         writeCounters(counters_path, rep.counters);
-    std::cout << "scenario:  " << scenarioInfo(cfg.scenario).notation
-              << " over " << sharingModeName(cfg.sharing)
-              << " sharing, " << cfg.noiseThreads
+    std::cout << "scenario:  "
+              << scenarioInfo(run.channel.scenario).notation
+              << " over " << sharingModeName(run.channel.sharing)
+              << " sharing, " << run.channel.noiseThreads
               << " noise thread(s)";
-    if (cfg.defense != Defense::none)
-        std::cout << ", defense " << defenseName(cfg.defense);
+    if (run.channel.defense != Defense::none)
+        std::cout << ", defense "
+                  << defenseName(run.channel.defense);
     std::cout << "\n";
+    if (run.channel.vector != VectorKind::coherence) {
+        const VectorBandInfo info =
+            vectorBandInfo(run.channel.vector);
+        std::cout << "vector:    " << vectorName(run.channel.vector)
+                  << " (" << info.carrier << ")\n";
+    }
     if (spec.payload.bits <= 0)
         std::cout << "received:  \"" << bitsToText(rep.received)
                   << "\"\n";
@@ -473,12 +496,11 @@ cmdTransmit(const Args &args)
               << " Kbps effective, "
               << TablePrinter::num(rep.metrics.payloadKbps)
               << " Kbps payload\n";
-    if (cfg.phy.profile != PhyProfile::legacyParity ||
-        cfg.phy.adaptive) {
+    if (result.kind == ExperimentKind::phy) {
         const auto ran = static_cast<PhyProfile>(
             rep.counters.value("ch.phy.profile"));
         std::cout << "phy:       " << phyProfileName(ran);
-        if (cfg.phy.adaptive)
+        if (run.channel.phy.adaptive)
             std::cout << " (adaptive @ "
                       << rep.counters.value("ch.phy.adapt_rate_kbps")
                       << " Kbps)";
@@ -528,8 +550,7 @@ cmdSweep(const Args &args)
     // (seed + 2) so existing sweep outputs stay reproducible.
     Rng rng(base.channel.system.seed + 2);
     const BitString payload = randomBits(rng, base.payloadBits());
-    const CalibrationResult cal =
-        calibrate(base.channel.system, 400);
+    const CalibrationResult cal = calibrateFor(base);
 
     const std::vector<ExperimentSpec> grid = expandGrid(base);
 
@@ -545,10 +566,10 @@ cmdSweep(const Args &args)
     std::vector<std::function<PointResult()>> jobs;
     for (const ExperimentSpec &point : grid) {
         jobs.push_back([&point, &cal, &payload] {
-            const ChannelConfig cfg = point.toChannelConfig();
-            const ChannelReport rep =
-                runCovertTransmission(cfg, payload, &cal);
-            return PointResult{rep.metrics, rep.counters};
+            const ExperimentResult r =
+                runExperiment(point, &cal, &payload);
+            return PointResult{r.channel.metrics,
+                               r.channel.counters};
         });
     }
     const std::vector<PointResult> results =
@@ -867,8 +888,7 @@ cmdReport(const Args &args)
     // describes the same transmissions the sweep benches measure.
     Rng rng(base.channel.system.seed + 2);
     const BitString payload = randomBits(rng, base.payloadBits());
-    const CalibrationResult cal =
-        calibrate(base.channel.system, 400);
+    const CalibrationResult cal = calibrateFor(base);
 
     const std::vector<ExperimentSpec> grid = expandGrid(base);
     std::cout << "report:    " << grid.size()
@@ -881,10 +901,10 @@ cmdReport(const Args &args)
     for (const ExperimentSpec &point : grid) {
         jobs.push_back([&point, &cal, &payload] {
             RunHealthMonitor monitor(point.obs);
-            monitor.setBands(cal);
-            ChannelConfig cfg = point.toChannelConfig();
-            cfg.taps.push_back(&monitor);
-            runCovertTransmission(cfg, payload, &cal);
+            seedVectorBands(monitor, point.channel.vector, cal);
+            ExperimentSpec tapped = point;
+            tapped.channel.taps.push_back(&monitor);
+            runExperiment(tapped, &cal, &payload);
             return monitor.finalize();
         });
     }
