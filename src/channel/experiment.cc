@@ -1,6 +1,7 @@
 #include "channel/experiment.hh"
 
 #include "channel/vector.hh"
+#include "prof/profiler.hh"
 
 namespace csim
 {
@@ -22,6 +23,7 @@ runExperiment(const ExperimentSpec &spec, const CalibrationResult *cal,
 {
     ExperimentResult out;
     if (spec.fleet.pairs > 1) {
+        ScopedSpan span("experiment.fleet");
         out.kind = ExperimentKind::fleet;
         out.fleet = runFleet(spec.toFleetConfig(), cal);
         return out;
@@ -31,10 +33,12 @@ runExperiment(const ExperimentSpec &spec, const CalibrationResult *cal,
     if (cfg.vector == VectorKind::coherence &&
         (cfg.phy.profile != PhyProfile::legacyParity ||
          cfg.phy.adaptive)) {
+        ScopedSpan span("experiment.phy");
         out.kind = ExperimentKind::phy;
         out.phy = runPhyTransmission(cfg, bits, cal, &out.channel);
         return out;
     }
+    ScopedSpan span("experiment.single");
     out.kind = ExperimentKind::single;
     out.channel = runVectorTransmission(cfg, bits, cal);
     return out;

@@ -6,6 +6,7 @@
 #include "detect/cchunter.hh"
 #include "os/kernel.hh"
 #include "phy/phy_channel.hh"
+#include "prof/profiler.hh"
 
 namespace csim
 {
@@ -144,6 +145,7 @@ runVectorTransmission(const ChannelConfig &cfg_in,
     // of time (paper §VII-B) — on a quiet machine.
     CalibrationResult local_cal;
     if (!cal) {
+        ScopedSpan span("rig.calibrate");
         local_cal = vec->calibrate(cfg);
         cal = &local_cal;
     }
@@ -183,10 +185,27 @@ runVectorTransmission(const ChannelConfig &cfg_in,
         rig.machine.sched, "spy", rig.plan.spy, *rig.spyProc,
         [&](ThreadApi api) { return vec->spyTask(api, run); });
 
-    rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
+    {
+        ScopedSpan span("rig.run");
+        const Tick run_start = rig.machine.sched.now();
+        rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
+        span.addVirtual(rig.machine.sched.now() - run_start);
+    }
     report.completed = spy_thread->finished;
     rig.crew->stopAll();
 
+    // The sync and transmit phases interleave as coroutines inside
+    // rig.run, so they cannot be wall-scoped; reconstruct their
+    // virtual-cycle extents from the trojan's phase timestamps.
+    if (Profiler::enabled()) {
+        const TrojanResult &tr = report.trojan;
+        if (tr.syncEnd >= tr.syncStart)
+            profRecord("rig.sync", 0, tr.syncEnd - tr.syncStart);
+        if (tr.txEnd >= tr.txStart)
+            profRecord("rig.transmit", 0, tr.txEnd - tr.txStart);
+    }
+
+    ScopedSpan decode_span("rig.decode");
     report.received = report.spy.bits;
     report.metrics = computeMetrics(
         report.sent, report.received, report.trojan.txStart,

@@ -28,4 +28,8 @@
 #include "obs/timeseries.hh"
 #include "obs/vector_bands.hh"
 
+// Self-profiling: scoped spans and the snapshot exporters.
+#include "prof/export.hh"
+#include "prof/profiler.hh"
+
 #endif // COHERSIM_COHERSIM_OBSERVE_HH

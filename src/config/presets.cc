@@ -123,6 +123,14 @@ buildPresets()
           {"payload.bits", "300"},
           {"channel.timeout_margin", "20"}}});
     presets.push_back(
+        {"quick",
+         "generic smoke: one short Table I row 4 transmission at "
+         "500 Kbps (CI profile/report smokes)",
+         {{"channel.scenario", "RExclc-LSharedb"},
+          {"channel.rate_kbps", "500"},
+          {"payload.bits", "120"},
+          {"channel.timeout_margin", "20"}}});
+    presets.push_back(
         {"health-quick",
          "small health-report grid: all scenarios, quiet + noisy",
          {{"sweep.scenarios", "all"},

@@ -72,6 +72,8 @@ CoherenceChannelDetector::intervalCv(const LineState &state)
 void
 CoherenceChannelDetector::observe(const TraceEvent &ev)
 {
+    // Fires for every mem event — sample the wall-timing.
+    SampledSpan prof(profCountdown_, "detect.observe");
     ++events_;
     if (ev.type == TraceEventType::memLoad ||
         ev.type == TraceEventType::memStore) {
@@ -205,6 +207,7 @@ CoherenceChannelDetector::evaluate(LineState &state, Tick when,
 std::vector<LineVerdict>
 CoherenceChannelDetector::suspiciousLines() const
 {
+    ScopedSpan span("detect.score");
     std::vector<LineVerdict> out;
     for (const auto &[line, state] : lines_) {
         if (state.suspicious)
@@ -302,6 +305,7 @@ CoherenceChannelDetector::faultVerdict(std::uint64_t pid) const
 LineVerdict
 CoherenceChannelDetector::aggregateVerdict() const
 {
+    ScopedSpan span("detect.score");
     return verdictOf(aggregate_, 0);
 }
 

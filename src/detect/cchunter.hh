@@ -252,6 +252,12 @@ class CoherenceChannelDetector
     int subId_ = 0;
     std::uint64_t events_ = 0;
     std::uint64_t flagged_ = 0;
+    /**
+     * Self-profiling sample countdown for observe() (fires per mem
+     * event — too hot to wall-time every call). Per-detector, so the
+     * sampled subset is deterministic at any host --jobs split.
+     */
+    std::uint32_t profCountdown_ = Profiler::armSample();
 };
 
 } // namespace csim

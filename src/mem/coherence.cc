@@ -51,7 +51,7 @@ mesiWord(Mesi s)
 } // namespace
 
 AccessResult
-MemorySystem::load(CoreId core, PAddr addr, Tick when)
+MemorySystem::loadImpl(CoreId core, PAddr addr, Tick when)
 {
     maybeRekey(when);
     ++stats_.loads;
@@ -439,7 +439,7 @@ MemorySystem::serveDram(CoreId core, PAddr line, Tick when,
 }
 
 AccessResult
-MemorySystem::store(CoreId core, PAddr addr, Tick when)
+MemorySystem::storeImpl(CoreId core, PAddr addr, Tick when)
 {
     maybeRekey(when);
     ++stats_.stores;
@@ -507,7 +507,7 @@ MemorySystem::store(CoreId core, PAddr addr, Tick when)
 }
 
 AccessResult
-MemorySystem::flush(CoreId core, PAddr addr, Tick when)
+MemorySystem::flushImpl(CoreId core, PAddr addr, Tick when)
 {
     maybeRekey(when);
     ++stats_.flushes;

@@ -531,4 +531,33 @@ MemorySystem::reconcilePresence(SocketId socket, PAddr line)
     }
 }
 
+AccessResult
+MemorySystem::profiledOp(int kind, CoreId core, PAddr addr, Tick when)
+{
+    // Entered from the inline wrappers only on the stride-th op
+    // (the wrapper decrements the countdown, so the sampled op is
+    // the same one regardless of the host thread running this
+    // machine); re-arm it here, disarming if profiling was switched
+    // off since this machine was built.
+    profCountdown_ = Profiler::armSample();
+    static const char *const names[3] = {"mem.load", "mem.store",
+                                         "mem.flush"};
+    AccessResult r;
+    switch (kind) {
+      case 0: r = loadImpl(core, addr, when); break;
+      case 1: r = storeImpl(core, addr, when); break;
+      default: r = flushImpl(core, addr, when); break;
+    }
+    // No wall-clock reads: one access is tens of host ns, at or
+    // below clock resolution, and two steady_clock calls per sample
+    // would dominate the sample's own cost. The virtual latency is
+    // the signal here; wall time stays attributed to the enclosing
+    // phase span.
+    if (profCountdown_ != 0) {
+        profRecord(names[kind], 0,
+                   static_cast<std::uint64_t>(r.latency));
+    }
+    return r;
+}
+
 } // namespace csim

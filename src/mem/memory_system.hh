@@ -24,6 +24,7 @@
 #include "common/types.hh"
 #include "mem/cache.hh"
 #include "mem/params.hh"
+#include "prof/profiler.hh"
 #include "sim/memory_backend.hh"
 #include "trace/bus.hh"
 
@@ -96,11 +97,53 @@ class MemorySystem
     MemorySystem(const MemorySystem &) = delete;
     MemorySystem &operator=(const MemorySystem &) = delete;
 
-    /** @name Timed operations (physical addresses) */
-    /** @{ */
-    AccessResult load(CoreId core, PAddr addr, Tick when);
-    AccessResult store(CoreId core, PAddr addr, Tick when);
-    AccessResult flush(CoreId core, PAddr addr, Tick when);
+    /**
+     * @name Timed operations (physical addresses)
+     * The public entry points are thin wrappers over the protocol
+     * implementations so the self-profiler can sample every
+     * stride-th operation (per MemorySystem, keeping the sampled set
+     * deterministic at any host --jobs split). With
+     * -DCOHERSIM_PROF_MEM=0 the wrappers compile down to the bare
+     * calls — zero extra instructions on the hot path; with it on
+     * (the default) the cost is one member load and a predictable
+     * branch (the countdown doubles as the enable flag: armed at
+     * construction iff the profiler is on, see Profiler::armSample),
+     * plus the countdown decrement when armed. All recording lives
+     * out of line in profiledOp, entered once per stride.
+     * @{
+     */
+    AccessResult
+    load(CoreId core, PAddr addr, Tick when)
+    {
+#if COHERSIM_PROF_MEM
+        if (profCountdown_ != 0 && --profCountdown_ == 0)
+            [[unlikely]]
+            return profiledOp(0, core, addr, when);
+#endif
+        return loadImpl(core, addr, when);
+    }
+
+    AccessResult
+    store(CoreId core, PAddr addr, Tick when)
+    {
+#if COHERSIM_PROF_MEM
+        if (profCountdown_ != 0 && --profCountdown_ == 0)
+            [[unlikely]]
+            return profiledOp(1, core, addr, when);
+#endif
+        return storeImpl(core, addr, when);
+    }
+
+    AccessResult
+    flush(CoreId core, PAddr addr, Tick when)
+    {
+#if COHERSIM_PROF_MEM
+        if (profCountdown_ != 0 && --profCountdown_ == 0)
+            [[unlikely]]
+            return profiledOp(2, core, addr, when);
+#endif
+        return flushImpl(core, addr, when);
+    }
     /** @} */
 
     /**
@@ -195,6 +238,21 @@ class MemorySystem
     }
     CoreId
     coreFromBit(SocketId socket, std::uint32_t bits) const;
+    /** @} */
+
+    /** @name Protocol implementations (coherence.cc) */
+    /** @{ */
+    AccessResult loadImpl(CoreId core, PAddr addr, Tick when);
+    AccessResult storeImpl(CoreId core, PAddr addr, Tick when);
+    AccessResult flushImpl(CoreId core, PAddr addr, Tick when);
+    /**
+     * Profiling-enabled path of load/store/flush (@p kind 0/1/2):
+     * counts every op down and wall-times the stride-th one into a
+     * sampled "mem.*" span (memory_system.cc). Never touches sim
+     * state — results are bit-identical to the bare implementations.
+     */
+    AccessResult profiledOp(int kind, CoreId core, PAddr addr,
+                            Tick when);
     /** @} */
 
     /** @name Protocol actions (coherence.cc) */
@@ -327,6 +385,13 @@ class MemorySystem
     std::vector<LineMap> snoopFilter_;
     /** Remap mode: LLC-side operations until the next rekey. */
     std::uint64_t remapCountdown_ = 0;
+    /**
+     * Ops until the next profiled sample. Per-MemorySystem (not
+     * per-thread): the op stream of one simulated machine is
+     * deterministic, so the sampled subset — and the deterministic
+     * profile columns — are identical at any host --jobs split.
+     */
+    std::uint32_t profCountdown_ = Profiler::armSample();
     Resource qpi_;
     Resource dram_;
     /** Summed utilization of resources the current load traversed. */

@@ -24,6 +24,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "channel/calibration.hh"
@@ -72,6 +74,17 @@ struct RunHealth
     ErrorBudget budget;
     /** Per-error detail, in per-run alignment order. */
     std::vector<AttributedError> errors;
+    /**
+     * Capture-loss accounting (`obs.trace_dropped.*`): events a
+     * TraceRecorder's rings rejected, keyed by ring ("core0",
+     * "coreless", ...). The monitor itself never drops — this
+     * records how trustworthy a *recorded* trace of the same run
+     * is, surfaced in the report footer when nonzero.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> traceDropped;
+
+    /** Add @p count drops under @p ring (merging with same key). */
+    void addTraceDrops(const std::string &ring, std::uint64_t count);
 
     /** Fold another record in (submission order ⇒ deterministic). */
     void merge(const RunHealth &other);

@@ -7,6 +7,7 @@
 #include "phy/adaptive.hh"
 #include "phy/preamble.hh"
 #include "phy/soft.hh"
+#include "prof/profiler.hh"
 
 namespace csim
 {
@@ -40,6 +41,7 @@ phyPrepareSession(PhySession &s, const ChannelConfig &cfg,
     // numbers. FEC mode never retransmits, so consecutive frames
     // always carry distinct sequence numbers and the spy's duplicate
     // guard only ever drops false decodes.
+    ScopedSpan span("phy.encode");
     const std::size_t chunk_bits =
         static_cast<std::size_t>(s.phy.frameNibbles) * hammingDataBits;
     for (std::size_t off = 0; off < payload.size();
@@ -168,6 +170,9 @@ phySpyBody(ThreadApi api, VAddr block, PhySession &s)
           case Rx::header:
             header_bits.push_back(soft->bit);
             if (header_bits.size() == phyHeaderWireBits) {
+                // Synchronous between two co_awaits: safe to
+                // wall-scope (never held across a suspension).
+                ScopedSpan hdr_span("phy.decode.header");
                 if (const auto h =
                         phyDecodeHeader(header_bits, s.phy)) {
                     hdr = *h;
@@ -184,6 +189,7 @@ phySpyBody(ThreadApi api, VAddr block, PhySession &s)
           case Rx::body:
             body_bits.push_back(*soft);
             if (body_bits.size() == phyBodyWireBits(hdr.nibbles)) {
+                ScopedSpan body_span("phy.decode.body");
                 const PhyBodyResult res =
                     phyDecodeBody(body_bits, hdr, s.phy);
                 s.stages.fecBlocks +=
@@ -237,6 +243,7 @@ PhyReport
 phyFinalizeSession(const PhySession &s, const BitString &payload,
                    const TimingParams &timing, Tick fallback_end)
 {
+    ScopedSpan span("phy.finalize");
     PhyReport r;
     r.payloadBits = payload.size();
     r.frames = static_cast<int>(s.frames.size());
@@ -331,6 +338,7 @@ runPhyTransmission(const ChannelConfig &cfg_in,
 
     CalibrationResult local_cal;
     if (!cal) {
+        ScopedSpan span("rig.calibrate");
         local_cal = calibrate(cfg.system, 400, cfg.params);
         cal = &local_cal;
     }
@@ -354,8 +362,21 @@ runPhyTransmission(const ChannelConfig &cfg_in,
             return phySpyBody(api, rig.shared.spyVa, session);
         });
 
-    rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
+    {
+        ScopedSpan span("rig.run");
+        const Tick run_start = rig.machine.sched.now();
+        rig.machine.sched.runUntilFinished(spy_thread, cfg.timeout);
+        span.addVirtual(rig.machine.sched.now() - run_start);
+    }
     rig.crew->stopAll();
+
+    if (Profiler::enabled()) {
+        const TrojanResult &tr = session.trojan;
+        if (tr.syncEnd >= tr.syncStart)
+            profRecord("rig.sync", 0, tr.syncEnd - tr.syncStart);
+        if (tr.txEnd >= tr.txStart)
+            profRecord("rig.transmit", 0, tr.txEnd - tr.txStart);
+    }
 
     PhyReport report = phyFinalizeSession(session, payload,
                                           cfg.system.timing,

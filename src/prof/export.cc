@@ -1,0 +1,135 @@
+#include "prof/export.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table_printer.hh"
+
+namespace csim
+{
+
+Json
+profileJson(const ProfileSnapshot &snap)
+{
+    Json root = Json::object();
+    root["schema"] = "cohersim.profile.v1";
+    Json spans = Json::array();
+    for (const ProfileEntry &e : snap.entries) {
+        Json row = Json::object();
+        row["path"] = e.path;
+        row["depth"] = e.depth;
+        row["count"] = e.stats.count;
+        // Host wall time: the one nondeterministic column. Keep it
+        // on its own line so cross-run diffs can drop it the same
+        // way they drop BENCH wall_seconds.
+        row["wall_ns"] = e.stats.wallNs;
+        row["vcycles"] = e.stats.vcycles;
+        spans.push(std::move(row));
+    }
+    root["spans"] = std::move(spans);
+    if (snap.trackDropped > 0)
+        root["track_dropped"] = snap.trackDropped;
+    return root;
+}
+
+std::string
+profileCsv(const ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    os << "path,depth,count,wall_ns,vcycles\n";
+    for (const ProfileEntry &e : snap.entries) {
+        os << e.path << "," << e.depth << "," << e.stats.count << ","
+           << e.stats.wallNs << "," << e.stats.vcycles << "\n";
+    }
+    return os.str();
+}
+
+void
+renderProfile(std::ostream &os, const ProfileSnapshot &snap)
+{
+    if (snap.entries.empty()) {
+        os << "no spans recorded (is profiling enabled?)\n";
+        return;
+    }
+    TablePrinter table;
+    table.header({"span", "count", "wall ms", "us/call",
+                  "virt cycles"});
+    for (const ProfileEntry &e : snap.entries) {
+        const std::string name =
+            e.path.find('/') == std::string::npos
+                ? e.path
+                : e.path.substr(e.path.rfind('/') + 1);
+        const double wall_ms =
+            static_cast<double>(e.stats.wallNs) / 1e6;
+        const double us_per =
+            e.stats.count == 0
+                ? 0.0
+                : static_cast<double>(e.stats.wallNs) /
+                      (1e3 * static_cast<double>(e.stats.count));
+        table.row({std::string(
+                       static_cast<std::size_t>(e.depth) * 2, ' ') +
+                       name,
+                   std::to_string(e.stats.count),
+                   TablePrinter::num(wall_ms),
+                   TablePrinter::num(us_per),
+                   std::to_string(e.stats.vcycles)});
+    }
+    table.print(os);
+    if (snap.trackDropped > 0) {
+        os << "(" << snap.trackDropped
+           << " track events dropped beyond the per-thread cap)\n";
+    }
+}
+
+void
+appendProfilerTracks(Json &trace_doc, const ProfileSnapshot &snap)
+{
+    if (snap.tracks.empty())
+        return;
+    Json &list = trace_doc["traceEvents"];
+
+    // Pseudo-process well clear of the socket/kernel pids the
+    // simulator lanes use.
+    constexpr int profilerPid = 99;
+    {
+        Json ev = Json::object();
+        ev["name"] = "process_name";
+        ev["ph"] = "M";
+        ev["pid"] = profilerPid;
+        ev["tid"] = 0;
+        Json args = Json::object();
+        args["name"] = "profiler (wall time)";
+        ev["args"] = std::move(args);
+        list.push(std::move(ev));
+    }
+
+    std::uint64_t base = snap.tracks.front().startNs;
+    for (const ProfileTrackEvent &t : snap.tracks)
+        base = std::min(base, t.startNs);
+
+    for (const ProfileTrackEvent &t : snap.tracks) {
+        Json ev = Json::object();
+        ev["name"] = t.path;
+        ev["cat"] = "profiler";
+        ev["ph"] = "X";
+        ev["ts"] = static_cast<double>(t.startNs - base) / 1e3;
+        ev["dur"] = static_cast<double>(t.durNs) / 1e3;
+        ev["pid"] = profilerPid;
+        ev["tid"] = t.thread + 1;
+        Json args = Json::object();
+        args["vcycles"] = t.vcycles;
+        ev["args"] = std::move(args);
+        list.push(std::move(ev));
+    }
+
+    Json &other = trace_doc["otherData"];
+    if (!other.isObject())
+        other = Json::object();
+    other["profiler_timebase"] =
+        "wall-ns rebased to first span; simulator lanes are virtual "
+        "cycles";
+    if (snap.trackDropped > 0)
+        other["profiler_track_dropped"] = snap.trackDropped;
+}
+
+} // namespace csim

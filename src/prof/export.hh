@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Profile snapshot exporters: terminal table, JSON, CSV and the
+ * Perfetto track conversion.
+ *
+ * The JSON/CSV documents carry all three columns per span path. Only
+ * the count and vcycles columns are deterministic (bit-identical at
+ * any host --jobs split); wall_ns is host wall time. Consumers
+ * diffing profiles across runs must drop the wall_ns lines — the
+ * same convention as the "wall_seconds" field of BENCH artifacts.
+ */
+
+#ifndef COHERSIM_PROF_EXPORT_HH
+#define COHERSIM_PROF_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "prof/profiler.hh"
+#include "runner/json_sink.hh"
+
+namespace csim
+{
+
+/** Machine-readable profile document (schema cohersim.profile.v1). */
+Json profileJson(const ProfileSnapshot &snap);
+
+/** Flat CSV: path,depth,count,wall_ns,vcycles. */
+std::string profileCsv(const ProfileSnapshot &snap);
+
+/** Human-readable tree table of the aggregated spans. */
+void renderProfile(std::ostream &os, const ProfileSnapshot &snap);
+
+/**
+ * Append the snapshot's track events to a Perfetto trace-event
+ * document (as produced by perfettoTraceJson) as complete-duration
+ * ("X") events under a dedicated "profiler" pseudo-process, one
+ * thread lane per host thread. The profiler lanes run on *wall*
+ * time, re-based so the first span starts at ts 0, while the
+ * simulator lanes run on virtual time — the document notes the two
+ * time bases in otherData.profiler_timebase.
+ */
+void appendProfilerTracks(Json &trace_doc,
+                          const ProfileSnapshot &snap);
+
+} // namespace csim
+
+#endif // COHERSIM_PROF_EXPORT_HH

@@ -1,0 +1,297 @@
+#include "prof/profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace csim
+{
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** One node of a thread's span tree. */
+struct Node
+{
+    Node(const char *name, Node *parent)
+        : name(name), parent(parent),
+          path(parent == nullptr || parent->path.empty()
+                   ? std::string(name)
+                   : parent->path + "/" + name),
+          depth(parent == nullptr ? -1 : parent->depth + 1)
+    {
+    }
+
+    /** Root constructor. */
+    Node() : name(""), parent(nullptr), depth(-1) {}
+
+    Node *
+    child(const char *child_name)
+    {
+        // Literal span names make the pointer compare hit almost
+        // always; the strcmp fallback keeps non-literal names legal.
+        for (auto &c : children) {
+            if (c->name == child_name ||
+                std::strcmp(c->name, child_name) == 0) {
+                return c.get();
+            }
+        }
+        children.push_back(std::make_unique<Node>(child_name, this));
+        return children.back().get();
+    }
+
+    const char *name;
+    Node *parent;
+    std::string path;
+    int depth;
+    SpanStats stats;
+    std::vector<std::unique_ptr<Node>> children;
+};
+
+struct ThreadState;
+
+/** Process-global state behind the Profiler facade. */
+struct Registry
+{
+    std::mutex mtx;
+    /** Trees of exited threads, folded in on thread destruction. */
+    std::map<std::string, std::pair<int, SpanStats>> retired;
+    std::vector<ProfileTrackEvent> retiredTracks;
+    std::uint64_t retiredTrackDropped = 0;
+    std::vector<ThreadState *> live;
+    int nextThreadIndex = 0;
+
+    static Registry &
+    get()
+    {
+        static Registry r;
+        return r;
+    }
+};
+
+/** Per-thread span tree + track log, registered with the Registry. */
+struct ThreadState
+{
+    ThreadState()
+    {
+        Registry &reg = Registry::get();
+        std::lock_guard<std::mutex> lk(reg.mtx);
+        index = reg.nextThreadIndex++;
+        reg.live.push_back(this);
+    }
+
+    ~ThreadState()
+    {
+        Registry &reg = Registry::get();
+        std::lock_guard<std::mutex> lk(reg.mtx);
+        foldInto(reg.retired, root);
+        reg.retiredTracks.insert(
+            reg.retiredTracks.end(),
+            std::make_move_iterator(tracks.begin()),
+            std::make_move_iterator(tracks.end()));
+        reg.retiredTrackDropped += trackDropped;
+        reg.live.erase(
+            std::find(reg.live.begin(), reg.live.end(), this));
+    }
+
+    static void
+    foldInto(std::map<std::string, std::pair<int, SpanStats>> &out,
+             const Node &node)
+    {
+        if (node.depth >= 0) {
+            auto &slot = out[node.path];
+            slot.first = node.depth;
+            slot.second.merge(node.stats);
+        }
+        for (const auto &c : node.children)
+            foldInto(out, *c);
+    }
+
+    Node root;
+    Node *current = &root;
+    std::vector<ProfileTrackEvent> tracks;
+    std::uint64_t trackDropped = 0;
+    int index = 0;
+};
+
+ThreadState &
+tls()
+{
+    thread_local ThreadState state;
+    return state;
+}
+
+} // namespace
+
+std::atomic<bool> Profiler::enabledFlag_{[] {
+    const char *env = std::getenv("COHERSIM_PROFILE");
+    return env != nullptr && *env != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}()};
+
+std::atomic<bool> Profiler::tracksFlag_{false};
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler p;
+    return p;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabledFlag_.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::setCaptureTracks(bool on)
+{
+    tracksFlag_.store(on, std::memory_order_relaxed);
+}
+
+ProfileSnapshot
+Profiler::snapshot()
+{
+    Registry &reg = Registry::get();
+    std::lock_guard<std::mutex> lk(reg.mtx);
+
+    std::map<std::string, std::pair<int, SpanStats>> merged =
+        reg.retired;
+    ProfileSnapshot snap;
+    snap.trackDropped = reg.retiredTrackDropped;
+    snap.tracks = reg.retiredTracks;
+    for (ThreadState *t : reg.live) {
+        ThreadState::foldInto(merged, t->root);
+        snap.tracks.insert(snap.tracks.end(), t->tracks.begin(),
+                           t->tracks.end());
+        snap.trackDropped += t->trackDropped;
+    }
+
+    // std::map iterates in lexicographic path order, which is
+    // exactly depth-first tree order because a child's path extends
+    // its parent's — and it is independent of which thread ran what,
+    // keeping the count/vcycles columns bit-identical at any --jobs.
+    snap.entries.reserve(merged.size());
+    for (const auto &[path, slot] : merged) {
+        ProfileEntry e;
+        e.path = path;
+        e.depth = slot.first;
+        e.stats = slot.second;
+        snap.entries.push_back(std::move(e));
+    }
+    return snap;
+}
+
+void
+Profiler::reset()
+{
+    Registry &reg = Registry::get();
+    std::lock_guard<std::mutex> lk(reg.mtx);
+    reg.retired.clear();
+    reg.retiredTracks.clear();
+    reg.retiredTrackDropped = 0;
+    for (ThreadState *t : reg.live) {
+        t->root.children.clear();
+        t->root.stats = SpanStats{};
+        t->current = &t->root;
+        t->tracks.clear();
+        t->trackDropped = 0;
+    }
+}
+
+const ProfileEntry *
+ProfileSnapshot::find(const std::string &path) const
+{
+    for (const ProfileEntry &e : entries) {
+        if (e.path == path)
+            return &e;
+    }
+    return nullptr;
+}
+
+SpanStats
+ProfileSnapshot::totalOf(const std::string &name) const
+{
+    SpanStats total;
+    for (const ProfileEntry &e : entries) {
+        const bool tail =
+            e.path.size() >= name.size() &&
+            e.path.compare(e.path.size() - name.size(), name.size(),
+                           name) == 0 &&
+            (e.path.size() == name.size() ||
+             e.path[e.path.size() - name.size() - 1] == '/');
+        if (tail)
+            total.merge(e.stats);
+    }
+    return total;
+}
+
+ScopedSpan::ScopedSpan(const char *name)
+{
+    if (!Profiler::enabled())
+        return;
+    ThreadState &t = tls();
+    Node *node = t.current->child(name);
+    t.current = node;
+    node_ = node;
+    startNs_ = nowNs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (node_ == nullptr)
+        return;
+    Node *node = static_cast<Node *>(node_);
+    const std::uint64_t end = nowNs();
+    const std::uint64_t dur = end - startNs_;
+    node->stats.count += 1;
+    node->stats.wallNs += dur;
+    node->stats.vcycles += vcycles_;
+    ThreadState &t = tls();
+    t.current = node->parent;
+    if (Profiler::capturingTracks()) {
+        if (t.tracks.size() < Profiler::trackCapPerThread) {
+            t.tracks.push_back(ProfileTrackEvent{
+                node->path, t.index, startNs_, dur, vcycles_});
+        } else {
+            ++t.trackDropped;
+        }
+    }
+}
+
+void
+profRecord(const char *name, std::uint64_t wall_ns,
+           std::uint64_t vcycles, std::uint64_t count)
+{
+    if (!Profiler::enabled())
+        return;
+    ThreadState &t = tls();
+    Node *node = t.current->child(name);
+    node->stats.count += count;
+    node->stats.wallNs += wall_ns;
+    node->stats.vcycles += vcycles;
+    if (Profiler::capturingTracks()) {
+        if (t.tracks.size() < Profiler::trackCapPerThread) {
+            t.tracks.push_back(ProfileTrackEvent{
+                node->path, t.index, nowNs(), wall_ns, vcycles});
+        } else {
+            ++t.trackDropped;
+        }
+    }
+}
+
+} // namespace csim

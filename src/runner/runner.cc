@@ -12,6 +12,8 @@
 #include <unistd.h>
 #endif
 
+#include "prof/profiler.hh"
+
 namespace csim
 {
 
@@ -92,7 +94,13 @@ SweepRunner::run(std::size_t n,
         WorkStealingPool pool(opts_.resolvedJobs());
         for (std::size_t i = 0; i < n; ++i) {
             pool.submit([&, i] {
-                run_one(i);
+                {
+                    // One identical span per job, whatever worker
+                    // thread picked it up: nested spans then share
+                    // the same path at any --jobs split.
+                    ScopedSpan span("runner.job");
+                    run_one(i);
+                }
                 completed.fetch_add(1, std::memory_order_relaxed);
             });
         }

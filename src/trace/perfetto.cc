@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "trace/recorder.hh"
 
 namespace csim
 {
@@ -33,9 +34,31 @@ metadataEvent(int pid, int tid, const char *what, std::string name)
 
 } // namespace
 
+TraceDrops
+recorderDrops(const TraceRecorder &recorder)
+{
+    TraceDrops drops;
+    drops.total = recorder.dropped();
+    if (drops.total == 0)
+        return drops;
+    // One ring per core plus a trailing coreless ring (KSM scans,
+    // daemon activity) — mirror the recorder's layout in the names.
+    const std::size_t n = recorder.numRings();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t d = recorder.droppedOn(i);
+        if (d == 0)
+            continue;
+        const std::string name =
+            i + 1 == n ? "coreless" : "core" + std::to_string(i);
+        drops.rings.emplace_back(name, d);
+    }
+    return drops;
+}
+
 Json
 perfettoTraceJson(const std::vector<TraceEvent> &events,
-                  const SystemConfig &config, std::uint64_t dropped)
+                  const SystemConfig &config,
+                  const TraceDrops &dropped)
 {
     Json root = Json::object();
     Json list = Json::array();
@@ -92,9 +115,15 @@ perfettoTraceJson(const std::vector<TraceEvent> &events,
 
     root["traceEvents"] = std::move(list);
     root["displayTimeUnit"] = "ns";
-    if (dropped > 0) {
+    if (dropped.any()) {
         Json other = Json::object();
-        other["trace_dropped"] = dropped;
+        other["trace_dropped"] = dropped.total;
+        if (!dropped.rings.empty()) {
+            Json rings = Json::object();
+            for (const auto &[name, count] : dropped.rings)
+                rings[name] = count;
+            other["trace_dropped_rings"] = std::move(rings);
+        }
         root["otherData"] = std::move(other);
     }
     return root;
@@ -103,7 +132,7 @@ perfettoTraceJson(const std::vector<TraceEvent> &events,
 void
 writePerfettoTrace(const std::string &path,
                    const std::vector<TraceEvent> &events,
-                   const SystemConfig &config, std::uint64_t dropped)
+                   const SystemConfig &config, const TraceDrops &dropped)
 {
     writeJsonFile(path, perfettoTraceJson(events, config, dropped));
 }
@@ -111,7 +140,29 @@ writePerfettoTrace(const std::string &path,
 std::vector<TraceEvent>
 readPerfettoTrace(const std::string &path)
 {
+    return readPerfettoTrace(path, nullptr);
+}
+
+std::vector<TraceEvent>
+readPerfettoTrace(const std::string &path, TraceDrops *drops)
+{
     const Json root = readJsonFile(path);
+    if (drops) {
+        *drops = TraceDrops{};
+        if (const Json *other = root.find("otherData")) {
+            if (const Json *total = other->find("trace_dropped"))
+                drops->total =
+                    static_cast<std::uint64_t>(total->asInt());
+            if (const Json *rings =
+                    other->find("trace_dropped_rings");
+                rings && rings->isObject()) {
+                for (const auto &[name, count] : rings->entries())
+                    drops->rings.emplace_back(
+                        name,
+                        static_cast<std::uint64_t>(count.asInt()));
+            }
+        }
+    }
     const Json *list = root.find("traceEvents");
     fatal_if(!list || !list->isArray(),
              path, " is not a trace-event JSON document");

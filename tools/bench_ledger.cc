@@ -1,0 +1,346 @@
+/**
+ * @file
+ * bench_ledger — cross-run aggregation of BENCH artifacts.
+ *
+ * Every bench and CI smoke writes `BENCH_<name>.json` (plus an
+ * optional `_manifest.json` with the resolved configuration). Each
+ * file tells one run's story; the *trajectory* across commits lives
+ * only in the git history. This tool folds any set of those
+ * artifacts into one ledger document — every numeric metric
+ * flattened to a dotted path — and, given a baseline directory of
+ * the same artifacts, renders threshold-based regression verdicts.
+ *
+ * Usage:
+ *   bench_ledger [--out FILE] [--baseline-dir DIR]
+ *                [--tolerance FRAC] FILE...
+ *
+ * Volatile host-dependent fields (wall_seconds, jobs, seconds,
+ * ops_per_sec) are excluded from the metric set: everything the
+ * ledger compares is a deterministic simulator output, so any drift
+ * beyond --tolerance (default 0, i.e. bit-exact) is a real behaviour
+ * change, not scheduling noise. The verdict per metric:
+ *
+ *   ok        equal, or within tolerance
+ *   CHANGED   |relative delta| > tolerance
+ *   NEW       metric absent from the baseline artifact
+ *   GONE      baseline metric missing from the current artifact
+ *
+ * Exit status is 1 when any CHANGED/GONE verdict fired (NEW metrics
+ * are additions, not regressions), 2 on usage errors.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cohersim/harness.hh"
+
+namespace
+{
+
+using namespace csim;
+
+/** Host-dependent fields that must never enter the metric set. */
+bool
+volatileKey(const std::string &leaf)
+{
+    return leaf == "wall_seconds" || leaf == "jobs" ||
+           leaf == "seconds" || leaf == "ops_per_sec" ||
+           leaf == "overhead" || leaf == "wall_ns";
+}
+
+/** One flattened metric: dotted path -> numeric value. */
+struct Metric
+{
+    std::string path;
+    double value = 0.0;
+};
+
+void
+flatten(const Json &node, const std::string &prefix,
+        std::vector<Metric> &out)
+{
+    if (node.isObject()) {
+        for (const auto &[key, child] : node.entries()) {
+            if (volatileKey(key))
+                continue;
+            flatten(child,
+                    prefix.empty() ? key : prefix + "." + key, out);
+        }
+        return;
+    }
+    if (node.isArray()) {
+        std::size_t i = 0;
+        for (const Json &child : node.items()) {
+            flatten(child, prefix + "." + std::to_string(i), out);
+            ++i;
+        }
+        return;
+    }
+    if (node.isBool()) {
+        out.push_back({prefix, node.asBool() ? 1.0 : 0.0});
+        return;
+    }
+    if (node.isNumber())
+        out.push_back({prefix, node.asDouble()});
+    // Strings and nulls are context (scheme names, scenarios...);
+    // they shape the dotted paths of their siblings instead.
+}
+
+std::string
+basenameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+const Metric *
+findMetric(const std::vector<Metric> &metrics,
+           const std::string &path)
+{
+    for (const Metric &m : metrics) {
+        if (m.path == path)
+            return &m;
+    }
+    return nullptr;
+}
+
+struct FileLedger
+{
+    std::string file;      //!< basename (the cross-run join key)
+    std::string bench;     //!< the artifact's "bench" field, if any
+    std::vector<Metric> metrics;
+};
+
+FileLedger
+loadArtifact(const std::string &path)
+{
+    FileLedger ledger;
+    ledger.file = basenameOf(path);
+    const Json doc = readJsonFile(path);
+    if (const Json *bench = doc.find("bench");
+        bench && bench->isString()) {
+        ledger.bench = bench->asString();
+    }
+    flatten(doc, "", ledger.metrics);
+    return ledger;
+}
+
+/** Relative delta, safe around zero baselines. */
+double
+relativeDelta(double baseline, double current)
+{
+    if (baseline == current)
+        return 0.0;
+    const double denom = std::fabs(baseline);
+    if (denom == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return (current - baseline) / denom;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: bench_ledger [--out FILE] [--baseline-dir DIR] "
+           "[--tolerance FRAC] FILE...\n"
+           "  aggregates BENCH_*.json artifacts (and their "
+           "manifests) into one ledger\n"
+           "  document; with --baseline-dir, compares every metric "
+           "against the artifact\n"
+           "  of the same name there and exits 1 on any relative "
+           "change > FRAC (default 0)\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::string baseline_dir;
+    double tolerance = 0.0;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help") {
+            usage();
+            return 0;
+        }
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--baseline-dir" && i + 1 < argc) {
+            baseline_dir = argv[++i];
+        } else if (arg == "--tolerance" && i + 1 < argc) {
+            tolerance = std::stod(argv[++i]);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "bench_ledger: unknown option " << arg
+                      << "\n";
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty())
+        return usage();
+
+    std::vector<FileLedger> ledgers;
+    std::size_t total_metrics = 0;
+    for (const std::string &path : files) {
+        ledgers.push_back(loadArtifact(path));
+        total_metrics += ledgers.back().metrics.size();
+    }
+
+    struct Verdict
+    {
+        std::string file;
+        std::string metric;
+        std::string verdict;
+        double baseline = 0.0;
+        double current = 0.0;
+        double delta = 0.0;
+    };
+    std::vector<Verdict> verdicts;
+    bool regression = false;
+
+    if (!baseline_dir.empty()) {
+        for (const FileLedger &cur : ledgers) {
+            const std::string base_path =
+                baseline_dir + "/" + cur.file;
+            std::FILE *probe = std::fopen(base_path.c_str(), "rb");
+            if (!probe) {
+                // A brand-new artifact has no trajectory yet.
+                verdicts.push_back(
+                    {cur.file, "*", "NEW", 0.0, 0.0, 0.0});
+                continue;
+            }
+            std::fclose(probe);
+            const FileLedger base = loadArtifact(base_path);
+            for (const Metric &m : cur.metrics) {
+                const Metric *b = findMetric(base.metrics, m.path);
+                if (!b) {
+                    verdicts.push_back({cur.file, m.path, "NEW",
+                                        0.0, m.value, 0.0});
+                    continue;
+                }
+                const double delta =
+                    relativeDelta(b->value, m.value);
+                if (std::fabs(delta) > tolerance) {
+                    verdicts.push_back({cur.file, m.path, "CHANGED",
+                                        b->value, m.value, delta});
+                    regression = true;
+                }
+            }
+            for (const Metric &b : base.metrics) {
+                if (!findMetric(cur.metrics, b.path)) {
+                    verdicts.push_back({cur.file, b.path, "GONE",
+                                        b.value, 0.0, 0.0});
+                    regression = true;
+                }
+            }
+        }
+    }
+
+    Json root = Json::object();
+    root["schema"] = "cohersim.ledger.v1";
+    root["tolerance"] = tolerance;
+    Json runs = Json::array();
+    for (const FileLedger &ledger : ledgers) {
+        Json entry = Json::object();
+        entry["file"] = ledger.file;
+        if (!ledger.bench.empty())
+            entry["bench"] = ledger.bench;
+        Json metrics = Json::object();
+        for (const Metric &m : ledger.metrics)
+            metrics[m.path] = m.value;
+        entry["metrics"] = std::move(metrics);
+        runs.push(std::move(entry));
+    }
+    root["runs"] = std::move(runs);
+    if (!baseline_dir.empty()) {
+        Json vs = Json::array();
+        for (const Verdict &v : verdicts) {
+            Json row = Json::object();
+            row["file"] = v.file;
+            row["metric"] = v.metric;
+            row["verdict"] = v.verdict;
+            if (v.verdict == "CHANGED") {
+                row["baseline"] = v.baseline;
+                row["current"] = v.current;
+                row["relative_delta"] = v.delta;
+            }
+            vs.push(std::move(row));
+        }
+        root["verdicts"] = std::move(vs);
+        root["regression"] = regression;
+    }
+    if (!out_path.empty()) {
+        writeJsonFile(out_path, root);
+        std::cout << "ledger:    " << ledgers.size() << " artifact(s), "
+                  << total_metrics << " metric(s) -> " << out_path
+                  << "\n";
+    }
+
+    TablePrinter table;
+    table.header({"artifact", "bench", "metrics"});
+    for (const FileLedger &ledger : ledgers) {
+        table.row({ledger.file,
+                   ledger.bench.empty() ? "-" : ledger.bench,
+                   std::to_string(ledger.metrics.size())});
+    }
+    table.print(std::cout);
+
+    if (!baseline_dir.empty()) {
+        std::size_t changed = 0, gone = 0, fresh = 0;
+        for (const Verdict &v : verdicts) {
+            if (v.verdict == "CHANGED")
+                ++changed;
+            else if (v.verdict == "GONE")
+                ++gone;
+            else
+                ++fresh;
+        }
+        std::cout << "\nbaseline:  " << baseline_dir << " (tolerance "
+                  << tolerance << ")\n";
+        if (verdicts.empty()) {
+            std::cout << "verdict:   ok — every metric within "
+                         "tolerance\n";
+        } else {
+            TablePrinter vt;
+            vt.header({"artifact", "metric", "verdict", "baseline",
+                       "current", "delta"});
+            // CHANGED/GONE rows are the signal; cap the NEW noise.
+            constexpr std::size_t maxNewRows = 10;
+            std::size_t new_rows = 0;
+            for (const Verdict &v : verdicts) {
+                if (v.verdict == "NEW" && ++new_rows > maxNewRows)
+                    continue;
+                vt.row({v.file, v.metric, v.verdict,
+                        v.verdict == "NEW"
+                            ? "-"
+                            : TablePrinter::num(v.baseline),
+                        v.verdict == "GONE"
+                            ? "-"
+                            : TablePrinter::num(v.current),
+                        v.verdict == "CHANGED"
+                            ? TablePrinter::pct(v.delta)
+                            : "-"});
+            }
+            vt.print(std::cout);
+            if (new_rows > maxNewRows) {
+                std::cout << "(" << (new_rows - maxNewRows)
+                          << " more NEW metrics; see --out)\n";
+            }
+            std::cout << "verdict:   " << changed << " changed, "
+                      << gone << " gone, " << fresh << " new"
+                      << (regression ? " — REGRESSION" : "") << "\n";
+        }
+    }
+    return regression ? 1 : 0;
+}

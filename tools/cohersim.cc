@@ -12,6 +12,8 @@
  *   trace      describe the tracing subsystem's event vocabulary
  *   report     run-health report: band separation, error budget,
  *              windowed telemetry (live run or saved trace)
+ *   profile    self-profile: per-subsystem span tree of the
+ *              resolved experiment grid
  *
  * Every experiment subcommand resolves one declarative
  * `ExperimentSpec` through layers of increasing precedence:
@@ -379,7 +381,7 @@ cmdTransmitFleet(const Args &args, const ExperimentSpec &spec)
     if (!trace_path.empty()) {
         const std::vector<TraceEvent> events = recorder.drain();
         writePerfettoTrace(trace_path, events, run.channel.system,
-                           recorder.dropped());
+                           recorderDrops(recorder));
         std::cout << "trace:     " << events.size() << " events ("
                   << recorder.dropped() << " dropped) -> "
                   << trace_path << "\n";
@@ -454,7 +456,7 @@ cmdTransmit(const Args &args)
     if (!trace_path.empty()) {
         const std::vector<TraceEvent> events = recorder.drain();
         writePerfettoTrace(trace_path, events, run.channel.system,
-                           recorder.dropped());
+                           recorderDrops(recorder));
         const TraceQuery query(events);
         std::cout << "trace:     " << events.size() << " events ("
                   << query.categoriesPresent() << " categories, "
@@ -869,12 +871,40 @@ cmdReport(const Args &args)
         // calibration is recorded in a trace, so drift columns and
         // band-vs-calibration checks stay empty.
         const ConfigResolver res = args.resolve();
+        TraceDrops drops;
         const std::vector<TraceEvent> events =
-            readPerfettoTrace(trace_path);
+            readPerfettoTrace(trace_path, &drops);
         std::cout << "trace:     " << events.size()
                   << " events <- " << trace_path << "\n";
-        const RunHealth health =
-            analyzeTrace(events, res.spec().obs);
+        // A capture without channel events yields a report with no
+        // bit counters or error budget at all — say why, instead of
+        // printing an all-zero document as if the run were clean.
+        std::uint64_t channel_events = 0;
+        for (const TraceEvent &ev : events) {
+            if (ev.category == TraceCategory::channel)
+                ++channel_events;
+        }
+        if (events.empty()) {
+            warn("trace ", trace_path, " holds no events this "
+                 "vocabulary understands; nothing to report");
+        } else if (channel_events == 0) {
+            warn("trace ", trace_path, " contains no channel-"
+                 "category events — bit counters and the error "
+                 "budget below are empty. Re-capture without "
+                 "restricting the channel category (check the "
+                 "recorder's category mask / COHERSIM_TRACE_MASK)");
+        }
+        RunHealth health = analyzeTrace(events, res.spec().obs);
+        // Surface the writer's drop accounting in the footer: the
+        // replayed statistics undercount by exactly these events.
+        if (drops.any()) {
+            if (drops.rings.empty()) {
+                health.addTraceDrops("total", drops.total);
+            } else {
+                for (const auto &[ring, n] : drops.rings)
+                    health.addTraceDrops(ring, n);
+            }
+        }
         emitHealthArtifacts(health, json_path, csv_path);
         renderHealthReport(std::cout, health);
         return 0;
@@ -922,6 +952,112 @@ cmdReport(const Args &args)
     return 0;
 }
 
+int
+cmdProfile(const Args &args)
+{
+    if (args.help) {
+        std::cout
+            << "cohersim profile [--jobs N] [--json FILE] "
+               "[--csv FILE] [--trace FILE]\n"
+            << kCommonHelp
+            << "  runs the resolved experiment grid with the "
+               "self-profiler enabled and prints\n"
+               "  the aggregated span tree (count / wall time / "
+               "virtual cycles per span path);\n"
+               "  count and vcycles are bit-identical for any "
+               "--jobs, wall time is host noise\n"
+               "  --json FILE   write the profile document "
+               "(cohersim.profile.v1)\n"
+               "  --csv FILE    write the flat "
+               "path,depth,count,wall_ns,vcycles table\n"
+               "  --trace FILE  Perfetto trace of the first grid "
+               "point with per-span wall-time\n"
+               "                tracks alongside the virtual-time "
+               "event lanes\n";
+        return 0;
+    }
+    const std::string trace_path = args.str("trace", "");
+    const std::string json_path = args.str("json", "");
+    const std::string csv_path = args.str("csv", "");
+
+    // Same spec resolution as `report`, so a profile describes the
+    // same transmissions the report/bench paths run.
+    const ConfigResolver res =
+        args.resolve({{"payload.bits", "300"},
+                      {"channel.timeout_margin", "20"}});
+    const ExperimentSpec &base = res.spec();
+    Rng rng(base.channel.system.seed + 2);
+    const BitString payload = randomBits(rng, base.payloadBits());
+
+    Profiler::setEnabled(true);
+    Profiler::setCaptureTracks(!trace_path.empty());
+    Profiler::instance().reset();
+
+    // Calibration is profiled too (it is real startup cost), under
+    // its own top-level span so it does not skew the grid spans.
+    CalibrationResult cal;
+    {
+        ScopedSpan span("profile.calibrate");
+        cal = calibrateFor(base);
+    }
+
+    const std::vector<ExperimentSpec> grid = expandGrid(base);
+    std::cout << "profile:   " << grid.size()
+              << " grid point(s), sample stride "
+              << Profiler::sampleStride << "\n";
+
+    TraceRecorder recorder;
+    RunnerOptions opts;
+    opts.jobs = static_cast<int>(args.num("jobs", 0));
+    std::vector<std::function<int()>> jobs;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const ExperimentSpec &point = grid[i];
+        // Only the first grid point feeds the Perfetto capture: one
+        // machine per trace file (pids are sockets).
+        const bool record = !trace_path.empty() && i == 0;
+        jobs.push_back([&point, &cal, &payload, record, &recorder] {
+            ExperimentSpec run = point;
+            if (record)
+                run.channel.recorder = &recorder;
+            runExperiment(run, &cal, &payload);
+            return 0;
+        });
+    }
+    runJobs(std::move(jobs), opts);
+
+    // Workers are joined; the snapshot is safe and complete.
+    const ProfileSnapshot snap = Profiler::instance().snapshot();
+    Profiler::setCaptureTracks(false);
+
+    if (!trace_path.empty()) {
+        const std::vector<TraceEvent> events = recorder.drain();
+        Json doc = perfettoTraceJson(events, base.channel.system,
+                                     recorderDrops(recorder));
+        appendProfilerTracks(doc, snap);
+        writeJsonFile(trace_path, doc);
+        std::cout << "trace:     " << events.size()
+                  << " sim events + " << snap.tracks.size()
+                  << " profiler spans -> " << trace_path << "\n";
+        if (snap.trackDropped > 0) {
+            warn("profiler track buffer overflowed; ",
+                 snap.trackDropped, " spans missing from ",
+                 trace_path, " (aggregated totals are complete)");
+        }
+    }
+    if (!json_path.empty()) {
+        writeJsonFile(json_path, profileJson(snap));
+        std::cout << "json:      profile -> " << json_path << "\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        out << profileCsv(snap);
+        fatal_if(!out.good(), "cannot write ", csv_path);
+        std::cout << "csv:       profile -> " << csv_path << "\n";
+    }
+    renderProfile(std::cout, snap);
+    return 0;
+}
+
 void
 usage()
 {
@@ -941,7 +1077,10 @@ usage()
            "  report     run-health report: band separation, error "
            "budget, windowed\n"
            "             telemetry (live run, or --trace FILE for a "
-           "saved capture)\n\n"
+           "saved capture)\n"
+           "  profile    self-profile: per-subsystem span tree "
+           "(wall time + virtual\n"
+           "             cycles) of the resolved experiment grid\n\n"
            "every experiment subcommand accepts --preset NAME, "
            "--config FILE,\n"
            "--dump-config FILE and --key value overrides of any "
@@ -984,6 +1123,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "report")
             return cmdReport(args);
+        if (cmd == "profile")
+            return cmdProfile(args);
     } catch (const ConfigError &e) {
         std::cerr << "cohersim: " << e.what() << "\n";
         return 2;
